@@ -1,0 +1,355 @@
+// Benchmarks regenerating every table of the paper (Tables 2-9; the paper
+// has no numbered figures) plus ablations over the design parameters
+// DESIGN.md calls out. Each table benchmark reports its headline measured
+// values as custom metrics so `go test -bench=.` doubles as a compact
+// reproduction report; cmd/lptables prints the full paper-vs-measured
+// tables.
+package lifetime_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	lifetime "repro"
+	"repro/internal/core"
+	"repro/internal/heapsim"
+	"repro/internal/profile"
+	"repro/internal/synth"
+)
+
+// benchScale keeps the full suite fast; percentages are essentially
+// scale-invariant (see EXPERIMENTS.md for full-scale runs).
+const benchScale = 0.02
+
+var (
+	artMu    sync.Mutex
+	artCache = map[string]*core.Artifacts{}
+)
+
+func artifacts(b *testing.B, name string) *core.Artifacts {
+	b.Helper()
+	artMu.Lock()
+	defer artMu.Unlock()
+	if a, ok := artCache[name]; ok {
+		return a
+	}
+	cfg := core.DefaultConfig(benchScale)
+	a, err := cfg.Build(synth.ByName(name))
+	if err != nil {
+		b.Fatal(err)
+	}
+	artCache[name] = a
+	return a
+}
+
+func perModel(b *testing.B, f func(b *testing.B, a *core.Artifacts)) {
+	for _, name := range core.ProgramOrder {
+		name := name
+		b.Run(name, func(b *testing.B) {
+			a := artifacts(b, name)
+			f(b, a)
+		})
+	}
+}
+
+func BenchmarkTable2Stats(b *testing.B) {
+	cfg := core.DefaultConfig(benchScale)
+	perModel(b, func(b *testing.B, a *core.Artifacts) {
+		var row core.Table2Row
+		var err error
+		for i := 0; i < b.N; i++ {
+			row, err = cfg.Table2(a)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(row.HeapRefPct, "heapref%")
+		b.ReportMetric(float64(row.MaxBytes)/1024, "maxliveKB")
+	})
+}
+
+func BenchmarkTable3Quantiles(b *testing.B) {
+	cfg := core.DefaultConfig(benchScale)
+	perModel(b, func(b *testing.B, a *core.Artifacts) {
+		var row core.Table3Row
+		for i := 0; i < b.N; i++ {
+			row = cfg.Table3(a)
+		}
+		b.ReportMetric(row.Quartiles[2], "median_bytes")
+	})
+}
+
+func BenchmarkTable4Prediction(b *testing.B) {
+	cfg := core.DefaultConfig(benchScale)
+	perModel(b, func(b *testing.B, a *core.Artifacts) {
+		var row core.Table4Row
+		for i := 0; i < b.N; i++ {
+			row = cfg.Table4(a)
+		}
+		b.ReportMetric(row.SelfPredPct, "self%")
+		b.ReportMetric(row.TruePredPct, "true%")
+		b.ReportMetric(row.TrueErrorPct, "err%")
+	})
+}
+
+func BenchmarkTable5SizeOnly(b *testing.B) {
+	cfg := core.DefaultConfig(benchScale)
+	perModel(b, func(b *testing.B, a *core.Artifacts) {
+		var row core.Table5Row
+		for i := 0; i < b.N; i++ {
+			row = cfg.Table5(a)
+		}
+		b.ReportMetric(row.PredPct, "sizeonly%")
+	})
+}
+
+func BenchmarkTable6ChainLength(b *testing.B) {
+	cfg := core.DefaultConfig(benchScale)
+	perModel(b, func(b *testing.B, a *core.Artifacts) {
+		var row core.Table6Row
+		for i := 0; i < b.N; i++ {
+			row = cfg.Table6(a)
+		}
+		b.ReportMetric(row.PredPct[0], "len1%")
+		b.ReportMetric(row.PredPct[3], "len4%")
+		b.ReportMetric(row.PredPct[7], "complete%")
+	})
+}
+
+func BenchmarkTable7ArenaFractions(b *testing.B) {
+	cfg := core.DefaultConfig(benchScale)
+	perModel(b, func(b *testing.B, a *core.Artifacts) {
+		var row core.Table7Row
+		var err error
+		for i := 0; i < b.N; i++ {
+			row, err = cfg.Table7(a)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(row.ArenaAllocPct, "arena_allocs%")
+		b.ReportMetric(row.ArenaBytePct, "arena_bytes%")
+	})
+}
+
+func BenchmarkTable8HeapSize(b *testing.B) {
+	cfg := core.DefaultConfig(benchScale)
+	perModel(b, func(b *testing.B, a *core.Artifacts) {
+		var row core.Table8Row
+		var err error
+		for i := 0; i < b.N; i++ {
+			row, err = cfg.Table8(a)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(row.FirstFitKB), "firstfitKB")
+		b.ReportMetric(row.TrueRatioPct, "arena/ff%")
+	})
+}
+
+func BenchmarkTable9CPUCost(b *testing.B) {
+	cfg := core.DefaultConfig(benchScale)
+	perModel(b, func(b *testing.B, a *core.Artifacts) {
+		var row core.Table9Row
+		var err error
+		for i := 0; i < b.N; i++ {
+			row, err = cfg.Table9(a)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(row.FirstFit.Total(), "ff_a+f")
+		b.ReportMetric(row.Len4.Total(), "len4_a+f")
+		b.ReportMetric(row.CCE.Total(), "cce_a+f")
+	})
+}
+
+func BenchmarkLocalityExtension(b *testing.B) {
+	cfg := core.DefaultConfig(benchScale)
+	perModel(b, func(b *testing.B, a *core.Artifacts) {
+		var row core.LocalityRow
+		var err error
+		for i := 0; i < b.N; i++ {
+			row, err = cfg.Locality(a)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(row.FirstFitMissPct, "ff_miss%")
+		b.ReportMetric(row.ArenaMissPct, "arena_miss%")
+	})
+}
+
+// --- Ablations (design choices called out in DESIGN.md §5) ---
+
+// BenchmarkAblationThreshold sweeps the "how short is short-lived?"
+// parameter (paper §4.1 fixes 32KB after discussing the trade-off).
+func BenchmarkAblationThreshold(b *testing.B) {
+	for _, kb := range []int64{8, 16, 32, 64, 128} {
+		kb := kb
+		b.Run(fmt.Sprintf("ghost/%dKB", kb), func(b *testing.B) {
+			a := artifacts(b, "ghost")
+			cfg := profile.DefaultConfig()
+			cfg.ShortThreshold = kb << 10
+			var ev profile.Eval
+			for i := 0; i < b.N; i++ {
+				db := profile.TrainObjects(a.TrainTrace.Table, a.TrainObjs, cfg)
+				ev = profile.EvaluateObjects(a.TrainTrace.Table, a.TrainObjs, db.Predictor())
+			}
+			b.ReportMetric(ev.PredictedShortPct(), "pred%")
+		})
+	}
+}
+
+// BenchmarkAblationAdmitFraction relaxes the all-short admission rule
+// (paper §4.1: "how large should this percentage be?").
+func BenchmarkAblationAdmitFraction(b *testing.B) {
+	for _, frac := range []float64{1.0, 0.99, 0.95, 0.9} {
+		frac := frac
+		b.Run(fmt.Sprintf("espresso/admit=%.2f", frac), func(b *testing.B) {
+			a := artifacts(b, "espresso")
+			cfg := profile.DefaultConfig()
+			cfg.AdmitFraction = frac
+			var self, tru profile.Eval
+			for i := 0; i < b.N; i++ {
+				db := profile.TrainObjects(a.TrainTrace.Table, a.TrainObjs, cfg)
+				p := db.Predictor()
+				self = profile.EvaluateObjects(a.TrainTrace.Table, a.TrainObjs, p)
+				tru = profile.EvaluateObjects(a.TestTrace.Table, a.TestObjs, p)
+			}
+			b.ReportMetric(self.PredictedShortPct(), "self%")
+			b.ReportMetric(tru.ErrorPct(), "true_err%")
+		})
+	}
+}
+
+// BenchmarkAblationArenaGeometry sweeps arena count x size at a fixed
+// 64KB total (the paper motivates 16x4KB blocking against pollution).
+func BenchmarkAblationArenaGeometry(b *testing.B) {
+	for _, g := range []struct{ n, sizeKB int }{
+		{1, 64}, {4, 16}, {16, 4}, {64, 1},
+	} {
+		g := g
+		b.Run(fmt.Sprintf("cfrac/%dx%dKB", g.n, g.sizeKB), func(b *testing.B) {
+			a := artifacts(b, "cfrac")
+			var res core.SimResult
+			var err error
+			for i := 0; i < b.N; i++ {
+				ar := &heapsim.Arena{NumArenas: g.n, ArenaSize: int64(g.sizeKB) << 10}
+				res, err = core.RunSim(a.TestTrace, ar, a.TrainPredictor)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.ArenaAllocPct, "arena_allocs%")
+			b.ReportMetric(float64(res.PinnedArenas), "pinned")
+		})
+	}
+}
+
+// BenchmarkAblationRoverPolicy compares the A4' roving pointer against the
+// K&R rover-on-free variant (see EXPERIMENTS.md for the trade-off).
+func BenchmarkAblationRoverPolicy(b *testing.B) {
+	for _, kr := range []bool{false, true} {
+		kr := kr
+		name := "ghost/a4prime"
+		if kr {
+			name = "ghost/rover-on-free"
+		}
+		b.Run(name, func(b *testing.B) {
+			a := artifacts(b, "ghost")
+			var res core.SimResult
+			var err error
+			for i := 0; i < b.N; i++ {
+				ff := heapsim.NewFirstFit()
+				ff.RoverOnFree = kr
+				res, err = core.RunSim(a.TestTrace, ff, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(res.MaxHeap)/1024, "heapKB")
+			b.ReportMetric(float64(res.Counts.FFProbes)/float64(res.Counts.FFAllocs), "probes/alloc")
+		})
+	}
+}
+
+// BenchmarkGenerate measures raw trace-generation throughput.
+func BenchmarkGenerate(b *testing.B) {
+	m := lifetime.ModelByName("cfrac")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr, err := lifetime.GenerateTrace(m, lifetime.TrainInput, uint64(i), 0.01)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(len(tr.Events)))
+	}
+}
+
+// BenchmarkPredictorLookup measures the per-allocation prediction cost of
+// the mapped predictor (the operation the paper prices at 18 instructions).
+func BenchmarkPredictorLookup(b *testing.B) {
+	a := artifacts(b, "gawk")
+	m := a.TrainPredictor.NewMapper(a.TestTrace.Table)
+	events := a.TestTrace.Events
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := events[i%len(events)]
+		if ev.Kind == 1 {
+			m.PredictShort(ev.Chain, ev.Size)
+		}
+	}
+}
+
+// BenchmarkExtensionGCPretenuring quantifies the paper's related-work
+// claim: a generational collector with lifetime-prediction pretenuring
+// copies less than the plain collector.
+func BenchmarkExtensionGCPretenuring(b *testing.B) {
+	for _, pre := range []bool{false, true} {
+		pre := pre
+		name := "gawk/baseline"
+		if pre {
+			name = "gawk/pretenured"
+		}
+		b.Run(name, func(b *testing.B) {
+			a := artifacts(b, "gawk")
+			var pred *profile.Predictor
+			if pre {
+				pred = a.TrainPredictor
+			}
+			var st lifetime.GCStats
+			var err error
+			for i := 0; i < b.N; i++ {
+				st, err = lifetime.SimulateGC(a.TestTrace, lifetime.DefaultGCConfig(), pred)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(st.CopiedBytes())/1024, "copiedKB")
+			b.ReportMetric(float64(st.MinorGCs), "minorGCs")
+		})
+	}
+}
+
+// BenchmarkExtensionCustomAlloc contrasts the CUSTOMALLOC-style
+// profile-synthesized per-size allocator with the lifetime-predicting
+// arena allocator (see core.CustomAllocComparison's doc for the finding).
+func BenchmarkExtensionCustomAlloc(b *testing.B) {
+	cfg := core.DefaultConfig(benchScale)
+	perModel(b, func(b *testing.B, a *core.Artifacts) {
+		var row core.CustomRow
+		var err error
+		for i := 0; i < b.N; i++ {
+			row, err = cfg.CustomAllocComparison(a)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(row.CustomFastPct, "fastpath%")
+		b.ReportMetric(float64(row.CustomHeapKB), "customKB")
+		b.ReportMetric(float64(row.ArenaHeapKB), "arenaKB")
+	})
+}

@@ -1,0 +1,80 @@
+// Command lpgen generates a synthetic allocation trace from one of the
+// five calibrated program models and writes it to a file (or stdout) in
+// the binary or text trace format.
+//
+// Usage:
+//
+//	lpgen -program gawk -input train -scale 0.1 -seed 1 -o gawk-train.trc
+//	lpgen -program perl -input test -text -o -        # text to stdout
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	lifetime "repro"
+)
+
+func main() {
+	program := flag.String("program", "gawk", "model: cfrac, espresso, gawk, ghost, perl")
+	input := flag.String("input", "train", "workload input: train or test")
+	scale := flag.Float64("scale", 0.1, "trace scale relative to the paper's run")
+	seed := flag.Uint64("seed", 1, "RNG seed")
+	out := flag.String("o", "-", "output file, - for stdout")
+	text := flag.Bool("text", false, "write the human-readable text format")
+	flag.Parse()
+
+	m := lifetime.ModelByName(*program)
+	if m == nil {
+		fatal(fmt.Errorf("unknown program %q (want one of cfrac, espresso, gawk, ghost, perl)", *program))
+	}
+	var in lifetime.WorkloadInput
+	switch *input {
+	case "train":
+		in = lifetime.TrainInput
+	case "test":
+		in = lifetime.TestInput
+	default:
+		fatal(fmt.Errorf("unknown input %q (want train or test)", *input))
+	}
+
+	tr, err := lifetime.GenerateTrace(m, in, *seed, *scale)
+	if err != nil {
+		fatal(err)
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}()
+		w = f
+	}
+	if *text {
+		err = lifetime.WriteTraceText(w, tr)
+	} else {
+		err = lifetime.WriteTrace(w, tr)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	st, err := lifetime.ComputeStats(tr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "lpgen: %s/%s: %d events, %d objects, %d bytes, max live %d bytes\n",
+		*program, *input, len(tr.Events), st.TotalObjects, st.TotalBytes, st.MaxBytes)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "lpgen: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,86 @@
+// Command lpprof trains a lifetime predictor from an allocation trace and
+// writes the site database as JSON — the paper's training step: each
+// allocation site (call-chain x rounded size) gets lifetime statistics and
+// a P² quantile histogram, and sites whose objects were all short-lived
+// are marked as predictors.
+//
+// Usage:
+//
+//	lpgen -program gawk -input train -o gawk.trc
+//	lpprof -trace gawk.trc -o gawk-sites.json
+//	lpprof -trace gawk.trc -threshold 16384 -chain-length 4 -o sites.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	lifetime "repro"
+)
+
+func main() {
+	tracePath := flag.String("trace", "", "input trace file (binary format; - for stdin)")
+	out := flag.String("o", "-", "output JSON file, - for stdout")
+	threshold := flag.Int64("threshold", 32<<10, "short-lived threshold in bytes")
+	rounding := flag.Int64("rounding", 4, "size rounding for site keys")
+	chainLength := flag.Int("chain-length", 0, "sub-chain length (0 = complete chain with recursion elimination)")
+	sizeOnly := flag.Bool("size-only", false, "key sites by size alone (Table 5 predictor)")
+	admit := flag.Float64("admit", 1.0, "fraction of a site's objects that must be short-lived")
+	flag.Parse()
+
+	if *tracePath == "" {
+		fatal(fmt.Errorf("missing -trace"))
+	}
+	var r io.Reader = os.Stdin
+	if *tracePath != "-" {
+		f, err := os.Open(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	tr, err := lifetime.ReadTrace(r)
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := lifetime.DefaultProfileConfig()
+	cfg.ShortThreshold = *threshold
+	cfg.SizeRounding = *rounding
+	cfg.ChainLength = *chainLength
+	cfg.SizeOnly = *sizeOnly
+	cfg.AdmitFraction = *admit
+
+	db, err := lifetime.TrainDB(tr, cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}()
+		w = f
+	}
+	if err := db.WriteJSON(w, tr.Program); err != nil {
+		fatal(err)
+	}
+	p := db.Predictor()
+	fmt.Fprintf(os.Stderr, "lpprof: %s: %d sites, %d admitted as short-lived predictors\n",
+		tr.Program, db.NumSites(), p.NumSites())
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "lpprof: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,118 @@
+// Command lpreport renders a site database (lpprof's JSON) as a
+// human-readable report: summary counts, then the top sites by allocation
+// volume with their lifetime quartiles and predictor status — the view a
+// programmer tuning an allocator with this tool would read.
+//
+// Usage:
+//
+//	lpprof -trace gawk.trc -o sites.json
+//	lpreport -sites sites.json -top 20
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/profile"
+	"repro/internal/table"
+)
+
+func main() {
+	sitesPath := flag.String("sites", "", "site database JSON from lpprof")
+	top := flag.Int("top", 25, "how many sites to list")
+	onlyShort := flag.Bool("short-only", false, "list only admitted short-lived predictor sites")
+	flag.Parse()
+
+	if *sitesPath == "" {
+		fatal(fmt.Errorf("missing -sites"))
+	}
+	f, err := os.Open(*sitesPath)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+
+	var db profile.DBFile
+	if err := json.NewDecoder(f).Decode(&db); err != nil {
+		fatal(fmt.Errorf("decoding %s: %w", *sitesPath, err))
+	}
+
+	var totalBytes, totalObjects, shortBytes int64
+	admitted := 0
+	for _, s := range db.Sites {
+		totalBytes += s.Bytes
+		totalObjects += s.Objects
+		if s.Admitted {
+			admitted++
+			shortBytes += s.Bytes
+		}
+	}
+	fmt.Printf("site database: %s\n", db.Program)
+	fmt.Printf("threshold:     %d bytes  rounding: %d  chain: %s\n",
+		db.Config.ShortThreshold, db.Config.SizeRounding, chainMode(db.Config))
+	fmt.Printf("sites:         %d total, %d admitted as short-lived predictors\n",
+		len(db.Sites), admitted)
+	if totalBytes > 0 {
+		fmt.Printf("coverage:      %.1f%% of %d allocated bytes land at predictor sites\n\n",
+			100*float64(shortBytes)/float64(totalBytes), totalBytes)
+	}
+
+	tb := table.New(fmt.Sprintf("top %d sites by volume", *top),
+		"Site", "Size", "Objects", "Bytes", "Life p25", "p50", "p75", "Max life", "Short?")
+	listed := 0
+	for _, s := range db.Sites {
+		if *onlyShort && !s.Admitted {
+			continue
+		}
+		if listed >= *top {
+			break
+		}
+		listed++
+		q := func(i int) string {
+			if i < len(s.Quantiles) {
+				return fmt.Sprintf("%.0f", s.Quantiles[i])
+			}
+			return "-"
+		}
+		mark := ""
+		if s.Admitted {
+			mark = "yes"
+		}
+		tb.RowStrings(
+			abbrevChain(s.Chain),
+			fmt.Sprintf("%d", s.Size),
+			fmt.Sprintf("%d", s.Objects),
+			fmt.Sprintf("%d", s.Bytes),
+			q(1), q(2), q(3),
+			fmt.Sprintf("%d", s.MaxLifetime),
+			mark)
+	}
+	tb.WriteTo(os.Stdout)
+}
+
+// abbrevChain renders a chain compactly, eliding the middle of deep ones.
+func abbrevChain(names []string) string {
+	if len(names) <= 4 {
+		return strings.Join(names, ">")
+	}
+	return names[0] + ">..>" + strings.Join(names[len(names)-3:], ">")
+}
+
+func chainMode(cfg profile.Config) string {
+	switch {
+	case cfg.SizeOnly:
+		return "size-only"
+	case cfg.ChainLength > 0:
+		return fmt.Sprintf("length-%d", cfg.ChainLength)
+	default:
+		return "complete (recursion eliminated)"
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "lpreport: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,111 @@
+// Command lpsim replays an allocation trace through one of the allocator
+// simulators — first-fit (Knuth), BSD, or the lifetime-predicting arena
+// allocator — and reports heap size, arena occupancy, and modeled
+// instruction costs. Giving a site database (-sites, from lpprof) enables
+// lifetime prediction; training and trace may come from different inputs,
+// which is the paper's true prediction.
+//
+// Usage:
+//
+//	lpgen -program gawk -input train -o train.trc
+//	lpgen -program gawk -input test  -o test.trc
+//	lpprof -trace train.trc -o sites.json
+//	lpsim -trace test.trc -alloc arena -sites sites.json
+//	lpsim -trace test.trc -alloc firstfit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	lifetime "repro"
+	"repro/internal/profile"
+)
+
+func main() {
+	tracePath := flag.String("trace", "", "input trace file (binary format)")
+	allocName := flag.String("alloc", "arena", "allocator: arena, firstfit, bsd")
+	sitesPath := flag.String("sites", "", "site database JSON (from lpprof); enables prediction")
+	callsPerAlloc := flag.Float64("calls-per-alloc", 0, "function calls per allocation for the CCE cost column (0 = use the trace's metadata)")
+	flag.Parse()
+
+	if *tracePath == "" {
+		fatal(fmt.Errorf("missing -trace"))
+	}
+	f, err := os.Open(*tracePath)
+	if err != nil {
+		fatal(err)
+	}
+	tr, err := lifetime.ReadTrace(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+
+	var pred *lifetime.Predictor
+	if *sitesPath != "" {
+		sf, err := os.Open(*sitesPath)
+		if err != nil {
+			fatal(err)
+		}
+		pred, err = profile.ReadPredictor(sf)
+		sf.Close()
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	var alloc lifetime.Allocator
+	switch *allocName {
+	case "arena":
+		alloc = lifetime.NewArenaAllocator()
+	case "firstfit":
+		alloc = lifetime.NewFirstFitAllocator()
+	case "bsd":
+		alloc = lifetime.NewBSDAllocator()
+	default:
+		fatal(fmt.Errorf("unknown allocator %q (want arena, firstfit, bsd)", *allocName))
+	}
+
+	res, err := lifetime.Simulate(tr, alloc, pred)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("program:        %s (%s input)\n", tr.Program, tr.Input)
+	fmt.Printf("allocator:      %s\n", *allocName)
+	fmt.Printf("allocations:    %d (%d bytes)\n", res.TotalAllocs, res.TotalBytes)
+	fmt.Printf("max heap:       %d bytes (%d KB)\n", res.MaxHeap, res.MaxHeap>>10)
+	if *allocName == "arena" {
+		fmt.Printf("arena allocs:   %.1f%%\n", res.ArenaAllocPct)
+		fmt.Printf("arena bytes:    %.1f%%\n", res.ArenaBytePct)
+		fmt.Printf("pinned arenas:  %d\n", res.PinnedArenas)
+		fmt.Printf("fallbacks:      %d\n", res.Counts.ArenaFallbacks)
+	}
+
+	params := lifetime.DefaultCostParams()
+	var cost lifetime.PerOpCost
+	switch *allocName {
+	case "bsd":
+		cost = lifetime.CostBSD(res.Counts, params)
+	case "firstfit":
+		cost = lifetime.CostFirstFit(res.Counts, params)
+	case "arena":
+		cost = lifetime.CostArenaLen4(res.Counts, params)
+		cpa := *callsPerAlloc
+		if cpa == 0 && res.TotalAllocs > 0 {
+			cpa = float64(tr.FunctionCalls) / float64(res.TotalAllocs)
+		}
+		cce := lifetime.CostArenaCCE(res.Counts, params, cpa)
+		fmt.Printf("instr/op (cce): alloc %.1f, free %.1f, a+f %.1f\n",
+			cce.Alloc, cce.Free, cce.Total())
+	}
+	fmt.Printf("instr/op:       alloc %.1f, free %.1f, a+f %.1f\n",
+		cost.Alloc, cost.Free, cost.Total())
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "lpsim: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,86 @@
+package lifetime_test
+
+import (
+	"fmt"
+
+	lifetime "repro"
+)
+
+// ExampleTrain demonstrates the core train/evaluate loop on the GAWK
+// workload model: the paper's true prediction, where the predictor trained
+// on one input is applied to another.
+func ExampleTrain() {
+	m := lifetime.ModelByName("gawk")
+	train, _ := lifetime.GenerateTrace(m, lifetime.TrainInput, 1, 0.01)
+	test, _ := lifetime.GenerateTrace(m, lifetime.TestInput, 2, 0.01)
+
+	pred, _ := lifetime.Train(train, lifetime.DefaultProfileConfig())
+	ev, _ := lifetime.Evaluate(test, pred)
+	fmt.Printf("actual short-lived:    %.0f%%\n", ev.ActualShortPct())
+	fmt.Printf("predicted short-lived: %.0f%%\n", ev.PredictedShortPct())
+	fmt.Printf("prediction error:      %.0f%%\n", ev.ErrorPct())
+	// Output:
+	// actual short-lived:    100%
+	// predicted short-lived: 100%
+	// prediction error:      0%
+}
+
+// ExampleSimulate runs the lifetime-predicting arena allocator against a
+// trace and reports how much traffic the arenas absorbed.
+func ExampleSimulate() {
+	m := lifetime.ModelByName("gawk")
+	tr, _ := lifetime.GenerateTrace(m, lifetime.TrainInput, 1, 0.01)
+	pred, _ := lifetime.Train(tr, lifetime.DefaultProfileConfig())
+
+	res, _ := lifetime.Simulate(tr, lifetime.NewArenaAllocator(), pred)
+	fmt.Printf("arena allocations: %.0f%%\n", res.ArenaAllocPct)
+	fmt.Printf("fallbacks: %d\n", res.Counts.ArenaFallbacks)
+	// Output:
+	// arena allocations: 100%
+	// fallbacks: 0
+}
+
+// ExampleRecorder instruments a toy program by hand: the recorder
+// maintains the dynamic call-chain and emits the same trace format the
+// workload models generate.
+func ExampleRecorder() {
+	rec := lifetime.NewRecorder("toy", "train")
+	main := rec.Enter("main")
+	for i := 0; i < 3; i++ {
+		loop := rec.Enter("loop")
+		id := rec.Malloc(16)
+		rec.Free(id)
+		rec.Exit(loop)
+	}
+	rec.Exit(main)
+
+	tr := rec.Trace()
+	objs, _ := lifetime.Annotate(tr)
+	fmt.Printf("objects: %d\n", len(objs))
+	fmt.Printf("chain:   %s\n", tr.Table.String(objs[0].Chain))
+	fmt.Printf("life:    %d bytes\n", objs[0].Lifetime)
+	// Output:
+	// objects: 3
+	// chain:   main>loop
+	// life:    16 bytes
+}
+
+// ExampleLifetimeQuantiles computes a trace's byte-weighted lifetime
+// quartiles — the paper's Table 3 measurement.
+func ExampleLifetimeQuantiles() {
+	rec := lifetime.NewRecorder("toy", "train")
+	frame := rec.Enter("main")
+	short := rec.Malloc(100)
+	rec.Free(short)         // lifetime 100 (its own size)
+	long := rec.Malloc(100) // lives through the padding below
+	pad := rec.Malloc(800)
+	rec.Free(pad)
+	rec.Free(long) // lifetime 900
+	rec.Exit(frame)
+
+	objs, _ := lifetime.Annotate(rec.Trace())
+	qs := lifetime.LifetimeQuantiles(objs, []float64{0.5, 1}, true)
+	fmt.Printf("median %.0f, max %.0f\n", qs[0], qs[1])
+	// Output:
+	// median 800, max 900
+}

@@ -1,0 +1,149 @@
+// The prototype the paper's conclusion promises, working for real: a
+// request-processing loop whose scratch buffers come from the
+// lifetime-predicting bump allocator (internal/bumparena via the facade),
+// with call sites identified by runtime.Callers — the length-4 call-chain,
+// captured natively in Go.
+//
+// The demo trains on one batch of requests, then processes another batch
+// in predicting mode and reports how much of the allocation traffic the
+// bump path absorbed, alongside a wall-clock comparison against plain
+// make().
+//
+//	go run ./examples/realalloc
+package main
+
+import (
+	"fmt"
+	"time"
+
+	lifetime "repro"
+)
+
+// processor is a toy request pipeline: parse a header into a scratch
+// buffer, build a response body in another, and occasionally cache an
+// entry that outlives the request (the long-lived site the predictor must
+// exclude).
+type processor struct {
+	a     *lifetime.BumpAllocator
+	cache [][]byte
+	out   int
+}
+
+//go:noinline
+func (p *processor) parseHeader(req []byte) []byte {
+	buf := p.a.Alloc(len(req))
+	copy(buf, req)
+	// Uppercase the method in place, pretending to parse.
+	for i := 0; i < len(buf) && buf[i] != ' '; i++ {
+		if buf[i] >= 'a' && buf[i] <= 'z' {
+			buf[i] -= 'a' - 'A'
+		}
+	}
+	return buf
+}
+
+//go:noinline
+func (p *processor) buildResponse(hdr []byte) []byte {
+	buf := p.a.Alloc(96)
+	n := copy(buf, "HTTP/1.0 200 OK\r\nX-Echo: ")
+	n += copy(buf[n:], hdr[:min(len(hdr), 40)])
+	p.out += n
+	return buf
+}
+
+//go:noinline
+func (p *processor) cacheEntry(hdr []byte) {
+	entry := p.a.Alloc(len(hdr))
+	copy(entry, hdr)
+	p.cache = append(p.cache, entry) // lives until shutdown
+}
+
+func (p *processor) handle(req []byte, cacheIt bool) error {
+	hdr := p.parseHeader(req)
+	resp := p.buildResponse(hdr)
+	if cacheIt {
+		p.cacheEntry(hdr)
+	}
+	if err := p.a.Free(resp); err != nil {
+		return err
+	}
+	return p.a.Free(hdr)
+}
+
+func (p *processor) shutdown() error {
+	for _, e := range p.cache {
+		if err := p.a.Free(e); err != nil {
+			return err
+		}
+	}
+	p.cache = nil
+	return nil
+}
+
+func requests(n int) [][]byte {
+	reqs := make([][]byte, n)
+	for i := range reqs {
+		reqs[i] = []byte(fmt.Sprintf("get /items/%d http/1.0", i*7919%1000))
+	}
+	return reqs
+}
+
+func runBatch(p *processor, reqs [][]byte) error {
+	for i, r := range reqs {
+		if err := p.handle(r, i%100 == 0); err != nil {
+			return err
+		}
+	}
+	return p.shutdown()
+}
+
+func main() {
+	cfg := lifetime.DefaultBumpConfig()
+	// This demo's call stacks are only four frames deep, so the default
+	// length-4 chain would reach main() — whose training and predicting
+	// call sites differ, breaking the site mapping (the paper's layering
+	// observation run in reverse). Three callers end at runBatch, which
+	// both batches share.
+	cfg.ChainLength = 3
+
+	// Training batch.
+	train := &processor{a: lifetime.NewBumpTraining(cfg)}
+	if err := runBatch(train, requests(30000)); err != nil {
+		panic(err)
+	}
+	db := train.a.Finish()
+	fmt.Printf("training: %d sites observed, %d predicted short-lived\n",
+		db.Sites(), db.PredictedSites())
+
+	// Predicting batch (different request mix, same code paths).
+	pred := &processor{a: lifetime.NewBumpPredicting(cfg, db)}
+	start := time.Now()
+	if err := runBatch(pred, requests(50000)); err != nil {
+		panic(err)
+	}
+	elapsed := time.Since(start)
+	st := pred.a.Stats()
+	fmt.Printf("predicting: %d allocs, %.1f%% bump-allocated, %d arena resets, %d fallbacks\n",
+		st.Allocs, 100*float64(st.BumpAllocs)/float64(st.Allocs),
+		st.ArenaResets, st.Fallbacks)
+	fmt.Printf("predicting batch took %v\n", elapsed.Round(time.Microsecond))
+
+	// The same batch against plain make() for a rough wall-clock feel
+	// (the Go GC absorbs the frees).
+	plain := &processor{a: lifetime.NewBumpTraining(cfg)} // training mode = make() path
+	start = time.Now()
+	if err := runBatch(plain, requests(50000)); err != nil {
+		panic(err)
+	}
+	fmt.Printf("make()-backed batch took %v (plus GC debt)\n",
+		time.Since(start).Round(time.Microsecond))
+	fmt.Println("\nthe cached-entry site was trained long-lived, so pinning never occurs;")
+	fmt.Println("scratch buffers cycle through 64KB of arenas regardless of batch size.")
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,148 @@
+// Package apptrace is the instrumentation facade that native Go programs
+// use to produce allocation traces in the same format the synthetic models
+// emit — the role Larus' AE tracer played for the paper's C programs.
+//
+// A program under instrumentation brackets its functions with Enter/Exit
+// (maintaining the dynamic call-chain) and reports its allocation events
+// with Malloc/Free. Object lifetimes fall out of the event order, exactly
+// as in §3.2 of the paper: time is bytes allocated.
+//
+// Typical use:
+//
+//	rec := apptrace.NewRecorder("myinterp", "train")
+//	defer rec.Exit(rec.Enter("main"))
+//	...
+//	defer rec.Exit(rec.Enter("evalNode"))
+//	cell := rec.Malloc(16)          // returns an ObjectID
+//	...
+//	rec.Free(cell)
+//	tr := rec.Trace()
+//
+// The recorder also offers MallocTagged for attaching a modeled reference
+// count (for locality experiments); plain Malloc records zero references.
+package apptrace
+
+import (
+	"fmt"
+
+	"repro/internal/callchain"
+	"repro/internal/trace"
+)
+
+// Recorder accumulates allocation events from an instrumented program.
+// It is not safe for concurrent use; instrument one goroutine, or shard
+// into multiple recorders.
+type Recorder struct {
+	table *callchain.Table
+	stack []callchain.FuncID
+	// chainMemo caches the interned chain for the current stack; it is
+	// invalidated by Enter/Exit.
+	chainValid bool
+	chain      callchain.ChainID
+
+	events []trace.Event
+	nextID trace.ObjectID
+	live   map[trace.ObjectID]bool
+
+	program, input string
+	funcCalls      int64
+}
+
+// NewRecorder returns an empty recorder for the given program and input
+// labels.
+func NewRecorder(program, input string) *Recorder {
+	return &Recorder{
+		table:   callchain.NewTable(),
+		live:    make(map[trace.ObjectID]bool),
+		program: program,
+		input:   input,
+	}
+}
+
+// Frame is the token Enter returns; passing it to Exit unwinds to the
+// matching depth even if intermediate Exits were skipped (e.g. on panic
+// recovery).
+type Frame int
+
+// Enter pushes a function onto the recorded call-stack and returns a
+// Frame for the matching Exit. Idiomatic use is
+//
+//	defer rec.Exit(rec.Enter("funcName"))
+func (r *Recorder) Enter(fn string) Frame {
+	r.funcCalls++
+	r.stack = append(r.stack, r.table.Func(fn))
+	r.chainValid = false
+	return Frame(len(r.stack) - 1)
+}
+
+// Exit pops the recorded call-stack back to the given frame.
+func (r *Recorder) Exit(f Frame) {
+	if int(f) < 0 || int(f) >= len(r.stack) {
+		return
+	}
+	r.stack = r.stack[:int(f)]
+	r.chainValid = false
+}
+
+// Depth reports the current call-stack depth.
+func (r *Recorder) Depth() int { return len(r.stack) }
+
+// currentChain interns the current stack as a chain.
+func (r *Recorder) currentChain() callchain.ChainID {
+	if !r.chainValid {
+		r.chain = r.table.Intern(r.stack)
+		r.chainValid = true
+	}
+	return r.chain
+}
+
+// Malloc records an allocation of size bytes at the current call-chain
+// and returns the object id to pass to Free.
+func (r *Recorder) Malloc(size int64) trace.ObjectID {
+	return r.MallocTagged(size, 0)
+}
+
+// MallocTagged is Malloc with a modeled reference count for the locality
+// experiments.
+func (r *Recorder) MallocTagged(size, refs int64) trace.ObjectID {
+	id := r.nextID
+	r.nextID++
+	r.events = append(r.events, trace.Event{
+		Kind:  trace.KindAlloc,
+		Obj:   id,
+		Size:  size,
+		Chain: r.currentChain(),
+		Refs:  refs,
+	})
+	r.live[id] = true
+	return id
+}
+
+// Free records the death of an object. Freeing an unknown or already-dead
+// object returns an error rather than corrupting the trace.
+func (r *Recorder) Free(id trace.ObjectID) error {
+	if !r.live[id] {
+		return fmt.Errorf("apptrace: free of unknown or dead object %d", id)
+	}
+	delete(r.live, id)
+	r.events = append(r.events, trace.Event{Kind: trace.KindFree, Obj: id})
+	return nil
+}
+
+// LiveObjects reports how many recorded objects are still live.
+func (r *Recorder) LiveObjects() int { return len(r.live) }
+
+// Events reports how many events have been recorded.
+func (r *Recorder) Events() int { return len(r.events) }
+
+// Trace finalizes and returns the recorded trace. The recorder remains
+// usable; later events extend the same trace on the next call.
+func (r *Recorder) Trace() *trace.Trace {
+	return &trace.Trace{
+		Program:       r.program,
+		Input:         r.input,
+		Table:         r.table,
+		Events:        r.events,
+		FunctionCalls: r.funcCalls,
+	}
+}

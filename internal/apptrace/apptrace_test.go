@@ -1,0 +1,138 @@
+package apptrace
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestRecorderBasics(t *testing.T) {
+	rec := NewRecorder("prog", "train")
+	fMain := rec.Enter("main")
+	fWork := rec.Enter("work")
+	a := rec.Malloc(100)
+	b := rec.MallocTagged(50, 7)
+	if err := rec.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	rec.Exit(fWork)
+	rec.Exit(fMain)
+
+	tr := rec.Trace()
+	if tr.Program != "prog" || tr.Input != "train" {
+		t.Fatalf("labels %s/%s", tr.Program, tr.Input)
+	}
+	if tr.FunctionCalls != 2 {
+		t.Fatalf("FunctionCalls = %d, want 2", tr.FunctionCalls)
+	}
+	if err := trace.Validate(tr); err != nil {
+		t.Fatal(err)
+	}
+	objs, err := trace.Annotate(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(objs) != 2 {
+		t.Fatalf("%d objects", len(objs))
+	}
+	if got := tr.Table.String(objs[0].Chain); got != "main>work" {
+		t.Fatalf("chain %q", got)
+	}
+	// a was freed after b's 50 bytes: lifetime 150.
+	if objs[0].Lifetime != 150 || !objs[0].Freed {
+		t.Fatalf("obj a lifetime %d freed %v", objs[0].Lifetime, objs[0].Freed)
+	}
+	if objs[1].Refs != 7 {
+		t.Fatalf("refs = %d", objs[1].Refs)
+	}
+	if objs[1].Freed {
+		t.Fatal("b should be unfreed")
+	}
+	_ = b
+}
+
+func TestRecorderChainChanges(t *testing.T) {
+	rec := NewRecorder("p", "i")
+	m := rec.Enter("main")
+	rec.Enter("f")
+	x := rec.Malloc(8)
+	rec.Exit(Frame(1)) // pop f
+	rec.Enter("g")
+	y := rec.Malloc(8)
+	rec.Exit(m)
+	tr := rec.Trace()
+	objs, _ := trace.Annotate(tr)
+	if tr.Table.String(objs[0].Chain) == tr.Table.String(objs[1].Chain) {
+		t.Fatal("different call paths produced the same chain")
+	}
+	_, _ = x, y
+}
+
+func TestRecorderExitUnwindsMultiple(t *testing.T) {
+	rec := NewRecorder("p", "i")
+	f := rec.Enter("a")
+	rec.Enter("b")
+	rec.Enter("c")
+	rec.Exit(f) // unwind three frames
+	if rec.Depth() != 0 {
+		t.Fatalf("depth %d after unwind, want 0", rec.Depth())
+	}
+	// Bad frames are ignored.
+	rec.Exit(Frame(5))
+	rec.Exit(Frame(-1))
+}
+
+func TestRecorderFreeErrors(t *testing.T) {
+	rec := NewRecorder("p", "i")
+	rec.Enter("main")
+	id := rec.Malloc(8)
+	if err := rec.Free(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Free(id); err == nil {
+		t.Fatal("double free accepted")
+	}
+	if err := rec.Free(999); err == nil {
+		t.Fatal("unknown free accepted")
+	}
+}
+
+func TestRecorderRecursionRecorded(t *testing.T) {
+	rec := NewRecorder("p", "i")
+	rec.Enter("main")
+	rec.Enter("eval")
+	rec.Enter("eval")
+	id := rec.Malloc(8)
+	_ = id
+	tr := rec.Trace()
+	objs, _ := trace.Annotate(tr)
+	// The raw chain keeps the recursion; elimination happens in the
+	// predictor, not the recorder.
+	if got := tr.Table.String(objs[0].Chain); got != "main>eval>eval" {
+		t.Fatalf("raw chain %q", got)
+	}
+	elim := tr.Table.EliminateRecursion(objs[0].Chain)
+	if got := tr.Table.String(elim); got != "main>eval" {
+		t.Fatalf("eliminated chain %q", got)
+	}
+}
+
+func TestRecorderLiveAccounting(t *testing.T) {
+	rec := NewRecorder("p", "i")
+	rec.Enter("main")
+	ids := make([]trace.ObjectID, 10)
+	for i := range ids {
+		ids[i] = rec.Malloc(16)
+	}
+	for _, id := range ids[:4] {
+		if err := rec.Free(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if rec.LiveObjects() != 6 {
+		t.Fatalf("live = %d", rec.LiveObjects())
+	}
+	if rec.Events() != 14 {
+		t.Fatalf("events = %d", rec.Events())
+	}
+}

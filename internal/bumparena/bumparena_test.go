@@ -1,0 +1,207 @@
+package bumparena
+
+import (
+	"testing"
+)
+
+// hotAlloc and coldAlloc are distinct call sites for the PC-chain capture.
+//
+//go:noinline
+func hotAlloc(a *Allocator, n int) []byte { return a.Alloc(n) }
+
+//go:noinline
+func coldAlloc(a *Allocator, n int) []byte { return a.Alloc(n) }
+
+// testConfig keys sites on the direct allocating function alone
+// (ChainLength 1): deeper chains would include the calling test function,
+// which differs between the training and predicting runs here — the same
+// transfer trade-off the interpreter example demonstrates.
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.ChainLength = 1
+	return cfg
+}
+
+// churn allocates and immediately frees through the hot site, and leaks
+// (keeps) through the cold site.
+func churn(t testing.TB, a *Allocator, rounds int) [][]byte {
+	var kept [][]byte
+	for i := 0; i < rounds; i++ {
+		b := hotAlloc(a, 64)
+		if err := a.Free(b); err != nil {
+			t.Fatal(err)
+		}
+		if i%64 == 0 {
+			kept = append(kept, coldAlloc(a, 128))
+		}
+	}
+	return kept
+}
+
+func TestTrainingSeparatesSites(t *testing.T) {
+	tr := NewTraining(testConfig())
+	kept := churn(t, tr, 20000) // 20000*64 bytes >> 32KB threshold
+	db := tr.Finish()
+	if db.Sites() < 2 {
+		t.Fatalf("only %d sites observed", db.Sites())
+	}
+	if db.PredictedSites() == 0 {
+		t.Fatal("no sites predicted short-lived")
+	}
+	if db.PredictedSites() >= db.Sites() {
+		t.Fatal("leaked site was also predicted short-lived")
+	}
+	_ = kept
+}
+
+func TestPredictingUsesArenas(t *testing.T) {
+	tr := NewTraining(testConfig())
+	churn(t, tr, 20000)
+	db := tr.Finish()
+
+	pr := NewPredicting(testConfig(), db)
+	kept := churn(t, pr, 20000)
+	st := pr.Stats()
+	if st.BumpAllocs == 0 {
+		t.Fatal("no bump allocations in predicting mode")
+	}
+	// The hot site dominates: the bump path should carry most allocs.
+	if float64(st.BumpAllocs)/float64(st.Allocs) < 0.8 {
+		t.Fatalf("bump fraction too low: %d of %d", st.BumpAllocs, st.Allocs)
+	}
+	if st.ArenaResets == 0 {
+		t.Fatal("arenas never recycled despite churn volume >> 64KB")
+	}
+	for _, b := range kept {
+		if err := pr.Free(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestBufferContentsIsolated(t *testing.T) {
+	tr := NewTraining(testConfig())
+	churn(t, tr, 20000)
+	pr := NewPredicting(testConfig(), tr.Finish())
+
+	// Two live buffers from the bump path must not alias, must be
+	// zeroed, and must hold their contents.
+	b1 := hotAlloc(pr, 64)
+	for i := range b1 {
+		b1[i] = 0xAA
+	}
+	b2 := hotAlloc(pr, 64)
+	for _, c := range b2 {
+		if c != 0 {
+			t.Fatal("fresh buffer not zeroed")
+		}
+	}
+	for i := range b2 {
+		b2[i] = 0x55
+	}
+	for _, c := range b1 {
+		if c != 0xAA {
+			t.Fatal("buffers alias")
+		}
+	}
+	if err := pr.Free(b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := pr.Free(b2); err != nil {
+		t.Fatal(err)
+	}
+	// Appending to a bump buffer must reallocate, not smash the arena
+	// (capacity is clamped with a three-index slice).
+	b3 := hotAlloc(pr, 16)
+	if cap(b3) != 16 {
+		t.Fatalf("bump buffer cap %d, want clamped 16", cap(b3))
+	}
+	if err := pr.Free(b3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOversizedGoesToHeap(t *testing.T) {
+	tr := NewTraining(testConfig())
+	churn(t, tr, 20000)
+	pr := NewPredicting(testConfig(), tr.Finish())
+	before := pr.Stats().HeapAllocs
+	big := pr.Alloc(16 << 10) // larger than one 4KB arena
+	if pr.Stats().HeapAllocs != before+1 {
+		t.Fatal("oversized buffer did not take the heap path")
+	}
+	if err := pr.Free(big); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrainingFreeErrors(t *testing.T) {
+	tr := NewTraining(testConfig())
+	if err := tr.Free(make([]byte, 8)); err == nil {
+		t.Fatal("free of foreign buffer accepted in training")
+	}
+	if err := tr.Free(nil); err != nil {
+		t.Fatal("nil free should be a no-op")
+	}
+}
+
+func TestPollutionFallsBack(t *testing.T) {
+	// Train so the hot site is predicted, then in predicting mode leak
+	// every hot buffer: arenas pin and the allocator must fall back
+	// rather than corrupt live data.
+	cfg := testConfig()
+	cfg.NumArenas = 2
+	cfg.ArenaSize = 256
+	tr := NewTraining(cfg)
+	churn(t, tr, 20000)
+	pr := NewPredicting(cfg, tr.Finish())
+
+	var leaked [][]byte
+	for i := 0; i < 100; i++ {
+		leaked = append(leaked, hotAlloc(pr, 64))
+	}
+	st := pr.Stats()
+	if st.Fallbacks == 0 {
+		t.Fatal("pinned arenas never forced a fallback")
+	}
+	// All leaked buffers remain intact and distinct.
+	for i, b := range leaked {
+		b[0] = byte(i)
+	}
+	for i, b := range leaked {
+		if b[0] != byte(i) {
+			t.Fatalf("leaked buffer %d corrupted", i)
+		}
+	}
+	for _, b := range leaked {
+		if err := pr.Free(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHeapMake(b *testing.B) {
+	b.ReportAllocs()
+	var sink []byte
+	for i := 0; i < b.N; i++ {
+		sink = make([]byte, 64)
+	}
+	_ = sink
+}
+
+func BenchmarkBumpAlloc(b *testing.B) {
+	tr := NewTraining(testConfig())
+	churn(b, tr, 20000)
+	pr := NewPredicting(testConfig(), tr.Finish())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf := hotAlloc(pr, 64)
+		if err := pr.Free(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if pr.Stats().BumpAllocs < int64(b.N)/2 {
+		b.Fatalf("bump path not exercised: %+v", pr.Stats())
+	}
+}

@@ -1,0 +1,590 @@
+// Package core glues the substrates into the paper's experimental
+// pipeline: generate (or load) an allocation trace, train a lifetime
+// predictor on a training input, and evaluate prediction effectiveness and
+// allocator performance on a test input. One Experiment method per paper
+// table returns structured rows; cmd/lptables and the root benchmarks
+// render them next to the paper's published values.
+//
+// Input conventions (paper §3.1 measures "the largest of the input sets"
+// and §4 distinguishes self from true prediction):
+//
+//   - Self prediction: train and evaluate on the Train input.
+//   - True prediction: train on Train, evaluate on Test (a different
+//     input, or for PERL a different program).
+//   - Simulations (Tables 7-9) use true prediction on the Test input, as
+//     the paper does; Table 8's self-prediction column simulates the
+//     Train input with its own predictor.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/callchain"
+	"repro/internal/costmodel"
+	"repro/internal/heapsim"
+	"repro/internal/locality"
+	"repro/internal/profile"
+	"repro/internal/synth"
+	"repro/internal/trace"
+)
+
+// Config parameterizes an experiment run.
+type Config struct {
+	// Scale multiplies each model's paper-scale trace volume. 1.0
+	// reproduces the full runs; smaller values keep tests fast.
+	Scale float64
+	// SeedBase derives all generation seeds.
+	SeedBase uint64
+	// Profile is the predictor configuration (32KB threshold etc.).
+	Profile profile.Config
+	// Models defaults to synth.All().
+	Models []*synth.Model
+}
+
+// DefaultConfig returns the paper-faithful configuration at the given
+// scale.
+func DefaultConfig(scale float64) Config {
+	return Config{
+		Scale:    scale,
+		SeedBase: 1993, // PLDI '93
+		Profile:  profile.DefaultConfig(),
+		Models:   synth.All(),
+	}
+}
+
+// Artifacts bundles everything derived from one model at one scale; the
+// experiments share it so traces are generated and annotated once.
+type Artifacts struct {
+	Model *synth.Model
+
+	TrainTrace *trace.Trace
+	TestTrace  *trace.Trace
+	TrainObjs  []trace.Object
+	TestObjs   []trace.Object
+
+	// TrainPredictor is trained on the Train input (used for true
+	// prediction and the simulations).
+	TrainPredictor *profile.Predictor
+	// TrainDB is the full site database behind TrainPredictor.
+	TrainDB *profile.DB
+}
+
+// Build generates and annotates both inputs of a model and trains the
+// predictor.
+func (c Config) Build(m *synth.Model) (*Artifacts, error) {
+	a := &Artifacts{Model: m}
+	var err error
+	a.TrainTrace, err = m.Generate(synth.Config{Input: synth.Train, Seed: c.SeedBase, Scale: c.Scale})
+	if err != nil {
+		return nil, fmt.Errorf("core: generating %s train input: %w", m.Name, err)
+	}
+	a.TestTrace, err = m.Generate(synth.Config{Input: synth.Test, Seed: c.SeedBase + 1000, Scale: c.Scale})
+	if err != nil {
+		return nil, fmt.Errorf("core: generating %s test input: %w", m.Name, err)
+	}
+	a.TrainObjs, err = trace.Annotate(a.TrainTrace)
+	if err != nil {
+		return nil, fmt.Errorf("core: annotating %s train trace: %w", m.Name, err)
+	}
+	a.TestObjs, err = trace.Annotate(a.TestTrace)
+	if err != nil {
+		return nil, fmt.Errorf("core: annotating %s test trace: %w", m.Name, err)
+	}
+	a.TrainDB = profile.TrainObjects(a.TrainTrace.Table, a.TrainObjs, c.Profile)
+	a.TrainPredictor = a.TrainDB.Predictor()
+	return a, nil
+}
+
+// SimResult summarizes one allocator simulation over one trace.
+type SimResult struct {
+	Allocator   string
+	MaxHeap     int64
+	Counts      heapsim.OpCounts
+	TotalAllocs int64
+	TotalBytes  int64
+	// Arena occupancy fractions (Table 7), zero for non-arena runs.
+	ArenaAllocPct float64
+	ArenaBytePct  float64
+	PinnedArenas  int
+}
+
+// RunSim replays a trace through an allocator. When pred is non-nil its
+// site database drives the predictedShort hint (chains are mapped by name,
+// so cross-input true prediction works transparently).
+func RunSim(tr *trace.Trace, alloc heapsim.Allocator, pred *profile.Predictor) (SimResult, error) {
+	var mapper *profile.Mapper
+	if pred != nil {
+		mapper = pred.NewMapper(tr.Table)
+	}
+	res := SimResult{}
+	for i, ev := range tr.Events {
+		switch ev.Kind {
+		case trace.KindAlloc:
+			short := false
+			if mapper != nil {
+				short = mapper.PredictShort(ev.Chain, ev.Size)
+			}
+			if err := alloc.Alloc(ev.Obj, ev.Size, short); err != nil {
+				return res, fmt.Errorf("core: event %d: %w", i, err)
+			}
+			res.TotalAllocs++
+			res.TotalBytes += ev.Size
+		case trace.KindFree:
+			if err := alloc.Free(ev.Obj); err != nil {
+				return res, fmt.Errorf("core: event %d: %w", i, err)
+			}
+		default:
+			return res, fmt.Errorf("core: event %d: bad kind %d", i, ev.Kind)
+		}
+	}
+	res.MaxHeap = alloc.MaxHeapSize()
+	res.Counts = alloc.Counts()
+	if res.TotalAllocs > 0 {
+		res.ArenaAllocPct = 100 * float64(res.Counts.ArenaAllocs) / float64(res.TotalAllocs)
+	}
+	if res.TotalBytes > 0 {
+		res.ArenaBytePct = 100 * float64(res.Counts.ArenaBytes) / float64(res.TotalBytes)
+	}
+	if ar, ok := alloc.(*heapsim.Arena); ok {
+		res.PinnedArenas = ar.PinnedArenas()
+	}
+	return res, nil
+}
+
+// --- Table 2: allocation behaviour ---
+
+// Table2Row reports the Table 2 metrics for one program.
+type Table2Row struct {
+	Program      string
+	SourceLines  int
+	TotalBytes   int64
+	TotalObjects int64
+	MaxBytes     int64
+	MaxObjects   int64
+	HeapRefPct   float64
+}
+
+// Table2 computes per-program allocation statistics on the Train input.
+func (c Config) Table2(a *Artifacts) (Table2Row, error) {
+	st, err := trace.ComputeStats(a.TrainTrace)
+	if err != nil {
+		return Table2Row{}, err
+	}
+	return Table2Row{
+		Program:      a.Model.Name,
+		SourceLines:  a.Model.SourceLines,
+		TotalBytes:   st.TotalBytes,
+		TotalObjects: st.TotalObjects,
+		MaxBytes:     st.MaxBytes,
+		MaxObjects:   st.MaxObjects,
+		HeapRefPct:   100 * st.HeapRefFrac,
+	}, nil
+}
+
+// --- Table 3: lifetime quantiles ---
+
+// Table3Row holds the byte-weighted lifetime quartiles of one program.
+type Table3Row struct {
+	Program   string
+	Quartiles [5]float64 // 0, 25, 50, 75, 100%
+}
+
+// Table3 computes the byte-weighted lifetime quartiles on the Train input.
+func (c Config) Table3(a *Artifacts) Table3Row {
+	q := profile.LifetimeQuantiles(a.TrainObjs, []float64{0, 0.25, 0.5, 0.75, 1}, true)
+	var row Table3Row
+	row.Program = a.Model.Name
+	copy(row.Quartiles[:], q)
+	return row
+}
+
+// --- Table 4: self and true prediction ---
+
+// Table4Row reports prediction effectiveness for one program.
+type Table4Row struct {
+	Program        string
+	TotalSites     int
+	ActualShortPct float64
+	SelfSitesUsed  int
+	SelfPredPct    float64
+	SelfErrorPct   float64
+	TrueSitesUsed  int
+	TruePredPct    float64
+	TrueErrorPct   float64
+}
+
+// Table4 evaluates the site+size predictor under self and true prediction.
+func (c Config) Table4(a *Artifacts) Table4Row {
+	self := profile.EvaluateObjects(a.TrainTrace.Table, a.TrainObjs, a.TrainPredictor)
+	tru := profile.EvaluateObjects(a.TestTrace.Table, a.TestObjs, a.TrainPredictor)
+	return Table4Row{
+		Program:        a.Model.Name,
+		TotalSites:     self.TotalSites,
+		ActualShortPct: self.ActualShortPct(),
+		SelfSitesUsed:  self.SitesUsed,
+		SelfPredPct:    self.PredictedShortPct(),
+		SelfErrorPct:   self.ErrorPct(),
+		TrueSitesUsed:  tru.SitesUsed,
+		TruePredPct:    tru.PredictedShortPct(),
+		TrueErrorPct:   tru.ErrorPct(),
+	}
+}
+
+// --- Table 5: size-only prediction ---
+
+// Table5Row reports size-only prediction effectiveness (self prediction).
+type Table5Row struct {
+	Program        string
+	ActualShortPct float64
+	PredPct        float64
+	SitesUsed      int
+}
+
+// Table5 evaluates a predictor keyed by rounded size alone.
+func (c Config) Table5(a *Artifacts) Table5Row {
+	cfg := c.Profile
+	cfg.SizeOnly = true
+	db := profile.TrainObjects(a.TrainTrace.Table, a.TrainObjs, cfg)
+	ev := profile.EvaluateObjects(a.TrainTrace.Table, a.TrainObjs, db.Predictor())
+	return Table5Row{
+		Program:        a.Model.Name,
+		ActualShortPct: ev.ActualShortPct(),
+		PredPct:        ev.PredictedShortPct(),
+		SitesUsed:      ev.SitesUsed,
+	}
+}
+
+// --- Table 6: call-chain length ---
+
+// Table6Row reports, for one program, predicted-short % and New Ref % for
+// sub-chain lengths 1..7 and the complete chain (index 7).
+type Table6Row struct {
+	Program string
+	PredPct [8]float64
+	NewRef  [8]float64
+}
+
+// Table6 sweeps the call-chain length (self prediction).
+func (c Config) Table6(a *Artifacts) Table6Row {
+	row := Table6Row{Program: a.Model.Name}
+	for i := 0; i < 8; i++ {
+		cfg := c.Profile
+		if i < 7 {
+			cfg.ChainLength = i + 1
+		} else {
+			cfg.ChainLength = 0 // complete chain
+		}
+		db := profile.TrainObjects(a.TrainTrace.Table, a.TrainObjs, cfg)
+		ev := profile.EvaluateObjects(a.TrainTrace.Table, a.TrainObjs, db.Predictor())
+		row.PredPct[i] = ev.PredictedShortPct()
+		row.NewRef[i] = ev.NewRefPct()
+	}
+	return row
+}
+
+// --- Table 7: arena occupancy under true prediction ---
+
+// Table7Row reports the fraction of objects and bytes placed in arenas.
+type Table7Row struct {
+	Program       string
+	TotalAllocs   int64
+	ArenaAllocPct float64
+	ArenaBytePct  float64
+	TotalBytes    int64
+	PinnedArenas  int
+}
+
+// Table7 simulates the arena allocator on the Test input with true
+// prediction (the paper's configuration: 16 x 4KB arenas).
+func (c Config) Table7(a *Artifacts) (Table7Row, error) {
+	res, err := RunSim(a.TestTrace, heapsim.NewArena(), a.TrainPredictor)
+	if err != nil {
+		return Table7Row{}, err
+	}
+	return Table7Row{
+		Program:       a.Model.Name,
+		TotalAllocs:   res.TotalAllocs,
+		ArenaAllocPct: res.ArenaAllocPct,
+		ArenaBytePct:  res.ArenaBytePct,
+		TotalBytes:    res.TotalBytes,
+		PinnedArenas:  res.PinnedArenas,
+	}, nil
+}
+
+// --- Table 8: maximum heap sizes ---
+
+// Table8Row compares first-fit and arena heap sizes (KB).
+type Table8Row struct {
+	Program      string
+	FirstFitKB   int64
+	SelfArenaKB  int64
+	SelfRatioPct float64 // arena/first-fit * 100
+	TrueArenaKB  int64
+	TrueRatioPct float64
+}
+
+// Table8 measures maximum heap sizes on the Test input (the measured
+// run): first-fit, the arena allocator under self prediction (a predictor
+// trained on the Test input itself), and under true prediction (the Train
+// predictor).
+func (c Config) Table8(a *Artifacts) (Table8Row, error) {
+	ffRes, err := RunSim(a.TestTrace, heapsim.NewFirstFit(), nil)
+	if err != nil {
+		return Table8Row{}, err
+	}
+	selfDB := profile.TrainObjects(a.TestTrace.Table, a.TestObjs, c.Profile)
+	selfRes, err := RunSim(a.TestTrace, heapsim.NewArena(), selfDB.Predictor())
+	if err != nil {
+		return Table8Row{}, err
+	}
+	trueRes, err := RunSim(a.TestTrace, heapsim.NewArena(), a.TrainPredictor)
+	if err != nil {
+		return Table8Row{}, err
+	}
+	row := Table8Row{
+		Program:     a.Model.Name,
+		FirstFitKB:  ffRes.MaxHeap >> 10,
+		SelfArenaKB: selfRes.MaxHeap >> 10,
+		TrueArenaKB: trueRes.MaxHeap >> 10,
+	}
+	if row.FirstFitKB > 0 {
+		row.SelfRatioPct = 100 * float64(row.SelfArenaKB) / float64(row.FirstFitKB)
+		row.TrueRatioPct = 100 * float64(row.TrueArenaKB) / float64(row.FirstFitKB)
+	}
+	return row, nil
+}
+
+// --- Table 9: instructions per operation ---
+
+// Table9Row reports modeled instructions per alloc/free for the four
+// allocators (true prediction for the arena columns).
+type Table9Row struct {
+	Program  string
+	BSD      costmodel.PerOp
+	FirstFit costmodel.PerOp
+	Len4     costmodel.PerOp
+	CCE      costmodel.PerOp
+}
+
+// Table9 simulates BSD, first-fit, and the arena allocator on the Test
+// input and prices them with the instruction cost model.
+func (c Config) Table9(a *Artifacts) (Table9Row, error) {
+	params := costmodel.DefaultParams()
+	bsdRes, err := RunSim(a.TestTrace, heapsim.NewBSD(), nil)
+	if err != nil {
+		return Table9Row{}, err
+	}
+	ffRes, err := RunSim(a.TestTrace, heapsim.NewFirstFit(), nil)
+	if err != nil {
+		return Table9Row{}, err
+	}
+	arRes, err := RunSim(a.TestTrace, heapsim.NewArena(), a.TrainPredictor)
+	if err != nil {
+		return Table9Row{}, err
+	}
+	return Table9Row{
+		Program:  a.Model.Name,
+		BSD:      costmodel.BSD(bsdRes.Counts, params),
+		FirstFit: costmodel.FirstFit(ffRes.Counts, params),
+		Len4:     costmodel.ArenaLen4(arRes.Counts, params),
+		CCE:      costmodel.ArenaCCE(arRes.Counts, params, a.Model.CallsPerAlloc),
+	}, nil
+}
+
+// --- Locality extension ---
+
+// LocalityRow quantifies the paper's reference-locality claim with a cache
+// simulation: the same reference load replayed against first-fit and
+// arena placements.
+type LocalityRow struct {
+	Program         string
+	FirstFitMissPct float64
+	ArenaMissPct    float64
+	FirstFitPages   int
+	ArenaPages      int
+	// Page-fault rates under a 64-frame (256KB) LRU resident set — the
+	// "page miss rates" half of the paper's locality claim.
+	FirstFitFaultPct float64
+	ArenaFaultPct    float64
+}
+
+// localityWindow is how many consecutively-allocated objects have their
+// references interleaved, and refsCap bounds per-object replay work.
+const (
+	localityWindow  = 64
+	localityRefsCap = 96
+)
+
+// Locality replays the Test input's references through a 256KB 4-way
+// cache under both allocators. The cache is sized above the 64KB arena
+// area and below the programs' first-fit heap extents, which is where the
+// paper's locality argument bites: short-lived churn that cycles through a
+// resident 64KB window hits, churn that next-fit walks across a
+// multi-megabyte heap does not.
+func (c Config) Locality(a *Artifacts) (LocalityRow, error) {
+	row := LocalityRow{Program: a.Model.Name}
+	miss, fault, pages, err := replayLocality(a.TestTrace, heapsim.NewFirstFit(), nil)
+	if err != nil {
+		return row, err
+	}
+	row.FirstFitMissPct, row.FirstFitFaultPct, row.FirstFitPages = miss, fault, pages
+	miss, fault, pages, err = replayLocality(a.TestTrace, heapsim.NewArena(), a.TrainPredictor)
+	if err != nil {
+		return row, err
+	}
+	row.ArenaMissPct, row.ArenaFaultPct, row.ArenaPages = miss, fault, pages
+	return row, nil
+}
+
+func replayLocality(tr *trace.Trace, alloc heapsim.Allocator, pred *profile.Predictor) (missPct, faultPct float64, pages int, err error) {
+	cache, err := locality.NewCache(256<<10, 4, 32)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	pager, err := locality.NewPageLRU(64, 4<<10)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	var mapper *profile.Mapper
+	if pred != nil {
+		mapper = pred.NewMapper(tr.Table)
+	}
+	var window []locality.Ref
+	var allRefs []locality.Ref
+	flush := func() {
+		locality.Replay(cache, window, localityRefsCap)
+		locality.ReplayPaged(pager, window, localityRefsCap)
+		window = window[:0]
+	}
+	for i, ev := range tr.Events {
+		switch ev.Kind {
+		case trace.KindAlloc:
+			short := false
+			if mapper != nil {
+				short = mapper.PredictShort(ev.Chain, ev.Size)
+			}
+			if err := alloc.Alloc(ev.Obj, ev.Size, short); err != nil {
+				return 0, 0, 0, fmt.Errorf("locality replay: event %d: %w", i, err)
+			}
+			addr, ok := alloc.Addr(ev.Obj)
+			if !ok {
+				return 0, 0, 0, fmt.Errorf("locality replay: object %d has no address", ev.Obj)
+			}
+			ref := locality.Ref{Addr: addr, Size: ev.Size, Refs: ev.Refs}
+			window = append(window, ref)
+			allRefs = append(allRefs, ref)
+			if len(window) >= localityWindow {
+				flush()
+			}
+		case trace.KindFree:
+			if err := alloc.Free(ev.Obj); err != nil {
+				return 0, 0, 0, fmt.Errorf("locality replay: event %d: %w", i, err)
+			}
+		}
+	}
+	flush()
+	return 100 * cache.MissRate(), 100 * pager.FaultRate(),
+		locality.WorkingSet(allRefs, 4<<10), nil
+}
+
+// InternTables reports the chain tables in play; exposed for tools that
+// need to render chains.
+func (a *Artifacts) InternTables() (train, test *callchain.Table) {
+	return a.TrainTrace.Table, a.TestTrace.Table
+}
+
+// RunSimStream replays a workload model's events through an allocator
+// without materializing the trace: memory stays proportional to the live
+// object set, so paper-scale (and larger) simulations run in a few
+// megabytes. The predictor, when non-nil, is consulted against the chains
+// interned on the fly.
+func RunSimStream(m *synth.Model, gcfg synth.Config, alloc heapsim.Allocator, pred *profile.Predictor) (SimResult, error) {
+	tb := callchain.NewTable()
+	var mapper *profile.Mapper
+	if pred != nil {
+		mapper = pred.NewMapper(tb)
+	}
+	res := SimResult{}
+	err := m.Stream(gcfg, tb, func(ev trace.Event) error {
+		switch ev.Kind {
+		case trace.KindAlloc:
+			short := false
+			if mapper != nil {
+				short = mapper.PredictShort(ev.Chain, ev.Size)
+			}
+			if err := alloc.Alloc(ev.Obj, ev.Size, short); err != nil {
+				return err
+			}
+			res.TotalAllocs++
+			res.TotalBytes += ev.Size
+			return nil
+		case trace.KindFree:
+			return alloc.Free(ev.Obj)
+		default:
+			return fmt.Errorf("core: bad event kind %d", ev.Kind)
+		}
+	})
+	if err != nil {
+		return res, err
+	}
+	res.MaxHeap = alloc.MaxHeapSize()
+	res.Counts = alloc.Counts()
+	if res.TotalAllocs > 0 {
+		res.ArenaAllocPct = 100 * float64(res.Counts.ArenaAllocs) / float64(res.TotalAllocs)
+	}
+	if res.TotalBytes > 0 {
+		res.ArenaBytePct = 100 * float64(res.Counts.ArenaBytes) / float64(res.TotalBytes)
+	}
+	if ar, ok := alloc.(*heapsim.Arena); ok {
+		res.PinnedArenas = ar.PinnedArenas()
+	}
+	return res, nil
+}
+
+// RunSimSited replays a trace through the per-site arena allocator
+// (heapsim.SiteArena), routing each predicted-short allocation to its own
+// site's pool. This is the pollution-isolation variant explored under the
+// paper's "further exploration of algorithms" future work; see
+// EXPERIMENTS.md.
+func RunSimSited(tr *trace.Trace, alloc *heapsim.SiteArena, pred *profile.Predictor) (SimResult, error) {
+	mapper := pred.NewMapper(tr.Table)
+	res := SimResult{}
+	for i, ev := range tr.Events {
+		switch ev.Kind {
+		case trace.KindAlloc:
+			key, short := mapper.Site(ev.Chain, ev.Size)
+			var err error
+			if short {
+				// Fold the site key into a stable, well-mixed 64-bit
+				// pool identity (a plain shift-xor would be congruent
+				// to the size modulo the bucket count).
+				id := (uint64(key.Chain)+1)*0x9e3779b97f4a7c15 ^
+					uint64(key.Size)*0xc2b2ae3d27d4eb4f
+				err = alloc.AllocAt(ev.Obj, ev.Size, id)
+			} else {
+				err = alloc.Alloc(ev.Obj, ev.Size, false)
+			}
+			if err != nil {
+				return res, fmt.Errorf("core: event %d: %w", i, err)
+			}
+			res.TotalAllocs++
+			res.TotalBytes += ev.Size
+		case trace.KindFree:
+			if err := alloc.Free(ev.Obj); err != nil {
+				return res, fmt.Errorf("core: event %d: %w", i, err)
+			}
+		default:
+			return res, fmt.Errorf("core: event %d: bad kind %d", i, ev.Kind)
+		}
+	}
+	res.MaxHeap = alloc.MaxHeapSize()
+	res.Counts = alloc.Counts()
+	if res.TotalAllocs > 0 {
+		res.ArenaAllocPct = 100 * float64(res.Counts.ArenaAllocs) / float64(res.TotalAllocs)
+	}
+	if res.TotalBytes > 0 {
+		res.ArenaBytePct = 100 * float64(res.Counts.ArenaBytes) / float64(res.TotalBytes)
+	}
+	res.PinnedArenas = alloc.PinnedPools()
+	return res, nil
+}

@@ -1,0 +1,159 @@
+package core
+
+// The paper's published values, used by cmd/lptables and the benchmarks to
+// print paper-vs-measured comparisons. All tables are indexed by program
+// name in the paper's order: cfrac, espresso, gawk, ghost, perl.
+
+// ProgramOrder is the paper's program ordering.
+var ProgramOrder = []string{"cfrac", "espresso", "gawk", "ghost", "perl"}
+
+// PaperTable2 rows: source lines, instructions (M), calls (M), total bytes
+// (M), total objects (M), max KB, max objects, heap refs %.
+type PaperTable2Row struct {
+	SourceLines   int
+	InstructionsM float64
+	CallsM        float64
+	TotalBytesM   float64
+	TotalObjectsM float64
+	MaxKB         int64
+	MaxObjects    int64
+	HeapRefsPct   float64
+}
+
+// PaperTable2 is the paper's Table 2.
+var PaperTable2 = map[string]PaperTable2Row{
+	"cfrac":    {6000, 1490, 18.4, 65.0, 3.8, 83, 5236, 79},
+	"espresso": {15500, 2419, 9.55, 105, 1.7, 254, 4387, 80},
+	"gawk":     {8500, 2072, 28.7, 167, 4.3, 35, 1384, 47},
+	"ghost":    {29500, 1035, 1.21, 89.7, 0.9, 2113, 26467, 69},
+	"perl":     {34500, 894, 23.4, 33.5, 1.5, 62, 1826, 48},
+}
+
+// PaperTable3 holds the lifetime quartiles (bytes): 0, 25, 50, 75, 100%.
+var PaperTable3 = map[string][5]float64{
+	"cfrac":    {10, 32, 48, 849, 64994593},
+	"espresso": {4, 196, 2379, 25530, 104881499},
+	"gawk":     {2, 29, 257, 1192, 167322377},
+	"ghost":    {16, 4330, 8052, 393531, 89669104},
+	"perl":     {1, 64, 887, 1306, 33528692},
+}
+
+// PaperTable4Row mirrors the paper's Table 4.
+type PaperTable4Row struct {
+	TotalSites     int
+	ActualShortPct float64
+	SelfSitesUsed  int
+	SelfPredPct    float64
+	SelfErrorPct   float64
+	TrueSitesUsed  int
+	TruePredPct    float64
+	TrueErrorPct   float64
+}
+
+// PaperTable4 is the paper's Table 4.
+var PaperTable4 = map[string]PaperTable4Row{
+	"cfrac":    {134, 100, 110, 79.0, 0.00, 77, 47.3, 3.65},
+	"espresso": {2854, 91, 2291, 41.8, 0.00, 855, 18.1, 0.06},
+	"gawk":     {171, 98, 93, 99.3, 0.00, 91, 99.3, 0.00},
+	"ghost":    {634, 97, 256, 80.9, 0.00, 211, 71.8, 0.00},
+	"perl":     {305, 99, 74, 91.4, 0.00, 29, 20.4, 1.11},
+}
+
+// PaperTable5Row mirrors the paper's Table 5 (size-only prediction).
+type PaperTable5Row struct {
+	ActualShortPct float64
+	PredPct        float64
+	SitesUsed      int
+}
+
+// PaperTable5 is the paper's Table 5.
+var PaperTable5 = map[string]PaperTable5Row{
+	"cfrac":    {100, 0, 5},
+	"espresso": {91, 19, 177},
+	"gawk":     {98, 5, 64},
+	"ghost":    {97, 36, 106},
+	"perl":     {99, 29, 26},
+}
+
+// PaperTable6Row holds predicted % and New Ref % for lengths 1..7 and the
+// complete chain (index 7).
+type PaperTable6Row struct {
+	PredPct [8]float64
+	NewRef  [8]float64
+}
+
+// PaperTable6 is the paper's Table 6.
+var PaperTable6 = map[string]PaperTable6Row{
+	"cfrac": {
+		PredPct: [8]float64{48, 76, 82, 82, 82, 82, 82, 82},
+		NewRef:  [8]float64{52, 66, 70, 70, 70, 70, 70, 70},
+	},
+	"espresso": {
+		PredPct: [8]float64{41, 41, 41, 42, 42, 43, 44, 42},
+		NewRef:  [8]float64{7, 7, 8, 8, 8, 9, 9, 8},
+	},
+	"gawk": {
+		PredPct: [8]float64{72, 78, 99, 99, 99, 99, 99, 99},
+		NewRef:  [8]float64{26, 29, 43, 43, 43, 43, 43, 43},
+	},
+	"ghost": {
+		PredPct: [8]float64{40, 40, 47, 75, 80, 80, 81, 81},
+		NewRef:  [8]float64{13, 13, 14, 31, 37, 37, 38, 38},
+	},
+	"perl": {
+		PredPct: [8]float64{31, 63, 63, 91, 94, 94, 95, 92},
+		NewRef:  [8]float64{23, 33, 33, 44, 45, 45, 45, 44},
+	},
+}
+
+// PaperTable7Row mirrors the paper's Table 7 (true prediction).
+type PaperTable7Row struct {
+	TotalAllocsK  float64
+	ArenaAllocPct float64
+	ArenaBytePct  float64
+	TotalKB       int64
+}
+
+// PaperTable7 is the paper's Table 7.
+var PaperTable7 = map[string]PaperTable7Row{
+	"cfrac":    {3809.2, 2.6, 1.8, 63472},
+	"espresso": {1654.2, 19.1, 18.2, 102423},
+	"gawk":     {4273.0, 98.2, 99.3, 163401},
+	"ghost":    {924.1, 81.3, 37.7, 87567},
+	"perl":     {1466.8, 18.0, 20.5, 32743},
+}
+
+// PaperTable8Row mirrors the paper's Table 8 (KB).
+type PaperTable8Row struct {
+	FirstFitKB   int64
+	SelfArenaKB  int64
+	SelfRatioPct float64
+	TrueArenaKB  int64
+	TrueRatioPct float64
+}
+
+// PaperTable8 is the paper's Table 8.
+var PaperTable8 = map[string]PaperTable8Row{
+	"cfrac":    {144, 208, 144.4, 208, 144.4},
+	"espresso": {280, 344, 122.9, 344, 122.9},
+	"gawk":     {56, 112, 200.0, 112, 200.0},
+	"ghost":    {5584, 2896, 51.9, 4048, 72.5},
+	"perl":     {80, 144, 180.0, 144, 180.0},
+}
+
+// PaperTable9Row mirrors the paper's Table 9 (instructions per operation).
+type PaperTable9Row struct {
+	BSDAlloc, BSDFree   float64
+	FFAlloc, FFFree     float64
+	Len4Alloc, Len4Free float64
+	CCEAlloc, CCEFree   float64
+}
+
+// PaperTable9 is the paper's Table 9.
+var PaperTable9 = map[string]PaperTable9Row{
+	"cfrac":    {52, 17, 66, 64, 134, 62, 140, 62},
+	"espresso": {55, 17, 65, 65, 76, 55, 84, 55},
+	"gawk":     {54, 17, 56, 64, 29, 11, 29, 11},
+	"ghost":    {61, 17, 165, 57, 58, 18, 142, 18},
+	"perl":     {51, 17, 70, 65, 82, 55, 120, 55},
+}

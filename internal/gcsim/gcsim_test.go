@@ -1,0 +1,126 @@
+package gcsim
+
+import (
+	"testing"
+
+	"repro/internal/callchain"
+	"repro/internal/profile"
+	"repro/internal/synth"
+	"repro/internal/trace"
+)
+
+func genGawk(t *testing.T) (*trace.Trace, *trace.Trace) {
+	t.Helper()
+	m := synth.ByName("gawk")
+	train, err := m.Generate(synth.Config{Input: synth.Train, Seed: 5, Scale: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	test, err := m.Generate(synth.Config{Input: synth.Test, Seed: 6, Scale: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return train, test
+}
+
+func TestBaselineCollectorAccounting(t *testing.T) {
+	_, test := genGawk(t)
+	st, err := Run(test, DefaultConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Allocs == 0 || st.AllocedBytes == 0 {
+		t.Fatal("nothing allocated")
+	}
+	if st.Pretenured != 0 {
+		t.Fatal("baseline pretenured objects")
+	}
+	if st.MinorGCs == 0 {
+		t.Fatal("no minor collections despite volume >> nursery")
+	}
+	// gawk is overwhelmingly short-lived: most nursery objects die
+	// before their first collection, so promotion is a small fraction.
+	frac := float64(st.PromotedBytes) / float64(st.AllocedBytes)
+	if frac > 0.30 {
+		t.Fatalf("promoted %.1f%% of bytes; generational hypothesis broken", 100*frac)
+	}
+}
+
+func TestPretenuringReducesCopying(t *testing.T) {
+	train, test := genGawk(t)
+	db, err := profile.Train(train, profile.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := db.Predictor()
+
+	base, err := Run(test, DefaultConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre, err := Run(test, DefaultConfig(), pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pre.Pretenured == 0 {
+		t.Fatal("prediction pretenured nothing")
+	}
+	if pre.PromotedBytes >= base.PromotedBytes {
+		t.Fatalf("pretenuring did not reduce promotion: %d vs %d",
+			pre.PromotedBytes, base.PromotedBytes)
+	}
+	if pre.CopiedBytes() >= base.CopiedBytes() {
+		t.Fatalf("pretenuring did not reduce total copying: %d vs %d",
+			pre.CopiedBytes(), base.CopiedBytes())
+	}
+}
+
+func TestHugeObjectBypassesNursery(t *testing.T) {
+	tb := trace.Trace{Table: callchain.NewTable()}
+	tb.Events = []trace.Event{
+		{Kind: trace.KindAlloc, Obj: 1, Size: 1 << 20, Chain: 0},
+		{Kind: trace.KindFree, Obj: 1},
+	}
+	st, err := Run(&tb, Config{NurserySize: 64 << 10, OldBudget: 8 << 20}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Pretenured != 1 {
+		t.Fatalf("oversized object not pretenured: %+v", st)
+	}
+	if st.MinorGCs != 0 {
+		t.Fatal("oversized object triggered a minor GC")
+	}
+}
+
+func TestMajorGCTriggered(t *testing.T) {
+	tb := trace.Trace{Table: callchain.NewTable()}
+	// 100 immortal 64KB objects blow through a 1MB old budget.
+	for i := 0; i < 100; i++ {
+		tb.Events = append(tb.Events, trace.Event{
+			Kind: trace.KindAlloc, Obj: trace.ObjectID(i), Size: 64 << 10,
+		})
+	}
+	st, err := Run(&tb, Config{NurserySize: 32 << 10, OldBudget: 1 << 20}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MajorGCs == 0 {
+		t.Fatal("no major collections despite old-gen growth")
+	}
+}
+
+func TestRunRejectsMalformed(t *testing.T) {
+	tb := trace.Trace{Table: callchain.NewTable()}
+	tb.Events = []trace.Event{{Kind: trace.KindFree, Obj: 3}}
+	if _, err := Run(&tb, DefaultConfig(), nil); err == nil {
+		t.Fatal("free of unknown object accepted")
+	}
+	tb.Events = []trace.Event{
+		{Kind: trace.KindAlloc, Obj: 1, Size: 8},
+		{Kind: trace.KindAlloc, Obj: 1, Size: 8},
+	}
+	if _, err := Run(&tb, DefaultConfig(), nil); err == nil {
+		t.Fatal("double alloc accepted")
+	}
+}

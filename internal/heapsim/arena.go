@@ -1,0 +1,227 @@
+package heapsim
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// Arena simulates the paper's lifetime-predicting arena allocator (§5.1):
+//
+//   - A fixed set of small arenas (16 x 4KB in the paper, chosen so the
+//     64KB total is twice the 32KB short-lived age) holds objects
+//     predicted short-lived. Each arena has only an allocation pointer and
+//     a live-object count — no per-object headers.
+//   - Allocation bumps the current arena's pointer. When the arena is
+//     full, all arenas are scanned for one whose count is zero; that arena
+//     is reset and becomes current. If none is free the object is
+//     allocated in the general heap ("as if it were long-lived").
+//   - Free of an arena object just decrements its arena's count. Arena
+//     membership is recognized by address, because the arena area is
+//     contiguous and disjoint from the general heap.
+//   - Objects not predicted short, objects larger than an arena, and
+//     arena-overflow objects go to a first-fit general heap.
+//
+// Mispredicted long-lived objects "pollute" arenas: an arena holding one
+// never reaches count zero and is never reused — the CFRAC failure mode of
+// §5.2.
+type Arena struct {
+	// NumArenas and ArenaSize default to the paper's 16 x 4KB.
+	NumArenas int
+	ArenaSize int64
+	// General is the fallback allocator; a default FirstFit if nil.
+	General *FirstFit
+
+	initialized bool
+	arenas      []arenaState
+	current     int
+	where       map[trace.ObjectID]arenaLoc // arena objects only
+	ops         OpCounts
+}
+
+// arenaLoc records where in the arena area an object was bump-allocated.
+type arenaLoc struct {
+	idx int
+	off int64
+}
+
+// ArenaBase is the synthetic base address of the arena area, disjoint from
+// the general heap's address space (which starts at 0).
+const ArenaBase = int64(1) << 40
+
+type arenaState struct {
+	used  int64
+	count int64
+}
+
+// NewArena returns an arena allocator with the paper's geometry over a
+// fresh first-fit general heap.
+func NewArena() *Arena {
+	a := &Arena{}
+	a.init()
+	return a
+}
+
+func (a *Arena) init() {
+	if a.initialized {
+		return
+	}
+	if a.NumArenas == 0 {
+		a.NumArenas = 16
+	}
+	if a.ArenaSize == 0 {
+		a.ArenaSize = 4 << 10
+	}
+	if a.General == nil {
+		a.General = NewFirstFit()
+	}
+	a.arenas = make([]arenaState, a.NumArenas)
+	a.where = make(map[trace.ObjectID]arenaLoc)
+	a.initialized = true
+}
+
+// Alloc implements Allocator. Objects with predictedShort true are placed
+// in an arena when possible.
+func (a *Arena) Alloc(id trace.ObjectID, size int64, predictedShort bool) error {
+	a.init()
+	if size <= 0 {
+		return fmt.Errorf("heapsim: non-positive allocation size %d", size)
+	}
+	a.ops.PredChecks++
+	if !predictedShort || size > a.ArenaSize {
+		return a.generalAlloc(id, size, false)
+	}
+	// Try the current arena.
+	cur := &a.arenas[a.current]
+	if cur.used+size <= a.ArenaSize {
+		return a.bump(id, size)
+	}
+	// Scan for an arena with no live objects (paper: "the algorithm
+	// scans all short-lived arenas attempting to find one with a zero
+	// count field").
+	for i := 1; i <= a.NumArenas; i++ {
+		idx := (a.current + i) % a.NumArenas
+		a.ops.ArenaScanSteps++
+		if a.arenas[idx].count == 0 {
+			a.arenas[idx].used = 0
+			a.current = idx
+			a.ops.ArenaResets++
+			return a.bump(id, size)
+		}
+	}
+	// All arenas pinned by live (possibly mispredicted) objects:
+	// degenerate to the general-purpose allocator.
+	return a.generalAlloc(id, size, true)
+}
+
+// bump places the object in the current arena.
+func (a *Arena) bump(id trace.ObjectID, size int64) error {
+	if _, dup := a.where[id]; dup {
+		return errDoubleAlloc(id)
+	}
+	if _, live := a.General.live[id]; live {
+		return errDoubleAlloc(id)
+	}
+	st := &a.arenas[a.current]
+	a.where[id] = arenaLoc{idx: a.current, off: st.used}
+	st.used += size
+	st.count++
+	a.ops.Allocs++
+	a.ops.ArenaAllocs++
+	a.ops.ArenaObjects++
+	a.ops.ArenaBytes += size
+	return nil
+}
+
+// generalAlloc places the object in the fallback heap.
+func (a *Arena) generalAlloc(id trace.ObjectID, size int64, fallback bool) error {
+	if _, dup := a.where[id]; dup {
+		return errDoubleAlloc(id)
+	}
+	if err := a.General.Alloc(id, size, false); err != nil {
+		return err
+	}
+	a.ops.Allocs++
+	a.ops.GeneralBytes += size
+	if fallback {
+		a.ops.ArenaFallbacks++
+	}
+	// The general heap's own counters (FFAllocs etc.) accumulate inside
+	// a.General; Counts() merges them.
+	return nil
+}
+
+// Free implements Allocator. Arena objects just decrement their arena's
+// live count (the address-range check in a real implementation is a couple
+// of compares).
+func (a *Arena) Free(id trace.ObjectID) error {
+	a.init()
+	if loc, ok := a.where[id]; ok {
+		delete(a.where, id)
+		st := &a.arenas[loc.idx]
+		if st.count <= 0 {
+			return fmt.Errorf("heapsim: arena %d count underflow freeing %d", loc.idx, id)
+		}
+		st.count--
+		a.ops.Frees++
+		a.ops.ArenaFrees++
+		return nil
+	}
+	if err := a.General.Free(id); err != nil {
+		return err
+	}
+	a.ops.Frees++
+	return nil
+}
+
+// HeapSize implements Allocator: the general heap plus the full arena
+// area (the paper's Table 8 "include[s] the 64-kilobyte arena area").
+func (a *Arena) HeapSize() int64 {
+	a.init()
+	return a.General.HeapSize() + int64(a.NumArenas)*a.ArenaSize
+}
+
+// MaxHeapSize implements Allocator.
+func (a *Arena) MaxHeapSize() int64 {
+	a.init()
+	return a.General.MaxHeapSize() + int64(a.NumArenas)*a.ArenaSize
+}
+
+// Counts implements Allocator, merging the general heap's counters.
+func (a *Arena) Counts() OpCounts {
+	a.init()
+	c := a.ops
+	g := a.General.Counts()
+	c.FFAllocs = g.FFAllocs
+	c.FFFrees = g.FFFrees
+	c.FFProbes = g.FFProbes
+	c.FFExtends = g.FFExtends
+	c.FFSplits = g.FFSplits
+	c.FFCoalesces = g.FFCoalesces
+	return c
+}
+
+// Addr implements Allocator. Arena objects live in a synthetic window at
+// ArenaBase, packed into NumArenas*ArenaSize bytes, which is exactly the
+// locality property the paper claims for them; general-heap objects use
+// the first-fit address space starting at 0.
+func (a *Arena) Addr(id trace.ObjectID) (int64, bool) {
+	a.init()
+	if loc, ok := a.where[id]; ok {
+		return ArenaBase + int64(loc.idx)*a.ArenaSize + loc.off, true
+	}
+	return a.General.Addr(id)
+}
+
+// PinnedArenas reports how many arenas currently hold at least one live
+// object — a direct measure of pollution.
+func (a *Arena) PinnedArenas() int {
+	a.init()
+	n := 0
+	for _, st := range a.arenas {
+		if st.count > 0 {
+			n++
+		}
+	}
+	return n
+}

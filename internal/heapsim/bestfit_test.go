@@ -1,0 +1,118 @@
+package heapsim
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/xrand"
+)
+
+func TestBestFitPicksTightestHole(t *testing.T) {
+	bf := NewBestFit()
+	// Fill one chunk exactly; object 3 separates the two future holes so
+	// they cannot coalesce: 1008+2008+512+1008+3656 = 8192 (all block
+	// sizes include the 8-byte header, rounded to 8).
+	mustAlloc(t, bf, 1, 1000, false)
+	mustAlloc(t, bf, 2, 2000, false)
+	mustAlloc(t, bf, 3, 500, false)
+	mustAlloc(t, bf, 4, 1000, false)
+	mustAlloc(t, bf, 5, 3648, false)
+	if bf.HeapSize() != 8<<10 {
+		t.Fatalf("heap %d, want one exact chunk", bf.HeapSize())
+	}
+	// Leave a 2008-byte hole and a 1008-byte hole.
+	a4, _ := bf.Addr(4)
+	mustFree(t, bf, 2)
+	mustFree(t, bf, 4)
+	// A 900-byte request fits both; best fit must take the 1008 hole.
+	mustAlloc(t, bf, 6, 900, false)
+	a6, _ := bf.Addr(6)
+	if a6 != a4 {
+		t.Fatalf("best fit took %d, want tightest hole at %d", a6, a4)
+	}
+	if err := bf.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBestFitExactFitShortCircuit(t *testing.T) {
+	bf := NewBestFit()
+	mustAlloc(t, bf, 1, 1000, false)
+	mustAlloc(t, bf, 2, 500, false)
+	a1, _ := bf.Addr(1)
+	mustFree(t, bf, 1)
+	mustAlloc(t, bf, 3, 1000, false) // exact fit for the hole
+	a3, _ := bf.Addr(3)
+	if a3 != a1 {
+		t.Fatalf("exact fit not reused: %d vs %d", a3, a1)
+	}
+}
+
+func TestBestFitErrors(t *testing.T) {
+	bf := NewBestFit()
+	if err := bf.Alloc(1, 0, false); err == nil {
+		t.Error("zero size accepted")
+	}
+	mustAlloc(t, bf, 1, 8, false)
+	if err := bf.Alloc(1, 8, false); err == nil {
+		t.Error("double alloc accepted")
+	}
+	if err := bf.Free(42); err == nil {
+		t.Error("unknown free accepted")
+	}
+}
+
+func TestBestFitRandomWorkloadInvariants(t *testing.T) {
+	r := xrand.New(123)
+	bf := NewBestFit()
+	live := map[trace.ObjectID]bool{}
+	var next trace.ObjectID
+	for i := 0; i < 3000; i++ {
+		if len(live) > 0 && r.Bool(0.45) {
+			for id := range live {
+				mustFree(t, bf, id)
+				delete(live, id)
+				break
+			}
+		} else {
+			mustAlloc(t, bf, next, r.Range(1, 4000), false)
+			live[next] = true
+			next++
+		}
+	}
+	if err := bf.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBestFitPacksAtLeastAsTightAsNextFit(t *testing.T) {
+	// On a mixed-size churn workload, best fit's max heap should not
+	// exceed next fit's (it pays probes for packing).
+	run := func(a Allocator) int64 {
+		r := xrand.New(9)
+		var next trace.ObjectID
+		live := []trace.ObjectID{}
+		for i := 0; i < 20000; i++ {
+			if len(live) > 60 || (len(live) > 0 && r.Bool(0.40)) {
+				k := r.Intn(len(live))
+				if err := a.Free(live[k]); err != nil {
+					t.Fatal(err)
+				}
+				live[k] = live[len(live)-1]
+				live = live[:len(live)-1]
+			} else {
+				if err := a.Alloc(next, r.Range(16, 2000), false); err != nil {
+					t.Fatal(err)
+				}
+				live = append(live, next)
+				next++
+			}
+		}
+		return a.MaxHeapSize()
+	}
+	nf := run(NewFirstFit())
+	bf := run(NewBestFit())
+	if bf > nf {
+		t.Fatalf("best fit heap %d exceeds next fit %d", bf, nf)
+	}
+}

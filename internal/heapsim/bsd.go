@@ -1,0 +1,136 @@
+package heapsim
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/trace"
+)
+
+// BSD simulates the 4.2BSD (Kingsley) malloc: requests are rounded up to a
+// power of two (including a small header), each power-of-two class keeps a
+// LIFO free list, empty lists are refilled by carving a page-sized slab,
+// and nothing is ever split or coalesced. Allocation and free are a few
+// loads and stores — the cheap, memory-hungry end of the Table 9 spectrum.
+type BSD struct {
+	// Header is the per-object bookkeeping overhead (default 8, as in
+	// the historical implementation's overhead union).
+	Header int64
+	// PageSize is the slab carve granularity (default 4KB).
+	PageSize int64
+	// MinBucket is the smallest chunk size as a log2 (default 4: 16B).
+	MinBucket int
+
+	initialized bool
+	heapEnd     int64
+	liveBytes   int64
+
+	freeLists map[int][]int64 // bucket index -> addresses
+	live      map[trace.ObjectID]bsdObj
+	ops       OpCounts
+}
+
+type bsdObj struct {
+	addr   int64
+	bucket int
+}
+
+// NewBSD returns a BSD malloc simulator with the default geometry.
+func NewBSD() *BSD {
+	b := &BSD{}
+	b.init()
+	return b
+}
+
+func (b *BSD) init() {
+	if b.initialized {
+		return
+	}
+	if b.Header == 0 {
+		b.Header = 8
+	}
+	if b.PageSize == 0 {
+		b.PageSize = 4 << 10
+	}
+	if b.MinBucket == 0 {
+		b.MinBucket = 4
+	}
+	b.freeLists = make(map[int][]int64)
+	b.live = make(map[trace.ObjectID]bsdObj)
+	b.initialized = true
+}
+
+// bucketFor returns the bucket index (log2 of the chunk size) for a
+// request.
+func (b *BSD) bucketFor(size int64) int {
+	need := uint64(size + b.Header)
+	k := bits.Len64(need - 1) // ceil(log2(need))
+	if k < b.MinBucket {
+		k = b.MinBucket
+	}
+	return k
+}
+
+// Alloc implements Allocator; predictedShort is ignored.
+func (b *BSD) Alloc(id trace.ObjectID, size int64, _ bool) error {
+	b.init()
+	if size <= 0 {
+		return fmt.Errorf("heapsim: non-positive allocation size %d", size)
+	}
+	if _, dup := b.live[id]; dup {
+		return errDoubleAlloc(id)
+	}
+	bucket := b.bucketFor(size)
+	b.ops.Allocs++
+	b.ops.BSDBucketSum += int64(bucket)
+
+	list := b.freeLists[bucket]
+	if len(list) == 0 {
+		// Carve a slab into chunks of this class.
+		b.ops.BSDCarves++
+		chunk := int64(1) << bucket
+		slab := align(chunk, b.PageSize)
+		start := b.heapEnd
+		b.heapEnd += slab
+		for a := start; a+chunk <= start+slab; a += chunk {
+			list = append(list, a)
+		}
+	}
+	addr := list[len(list)-1]
+	b.freeLists[bucket] = list[:len(list)-1]
+	b.live[id] = bsdObj{addr: addr, bucket: bucket}
+	b.liveBytes += size
+	return nil
+}
+
+// Free implements Allocator: push the chunk back on its bucket's list.
+func (b *BSD) Free(id trace.ObjectID) error {
+	b.init()
+	o, ok := b.live[id]
+	if !ok {
+		return errUnknownFree(id)
+	}
+	delete(b.live, id)
+	b.ops.Frees++
+	b.freeLists[o.bucket] = append(b.freeLists[o.bucket], o.addr)
+	return nil
+}
+
+// HeapSize returns the current break. BSD's heap never shrinks, so the
+// maximum equals the current value.
+func (b *BSD) HeapSize() int64 { return b.heapEnd }
+
+// MaxHeapSize implements Allocator.
+func (b *BSD) MaxHeapSize() int64 { return b.heapEnd }
+
+// Counts implements Allocator.
+func (b *BSD) Counts() OpCounts { return b.ops }
+
+// Addr implements Allocator.
+func (b *BSD) Addr(id trace.ObjectID) (int64, bool) {
+	o, ok := b.live[id]
+	if !ok {
+		return 0, false
+	}
+	return o.addr + b.Header, true
+}

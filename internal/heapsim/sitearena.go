@@ -1,0 +1,304 @@
+package heapsim
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// SiteArena explores the algorithm space the paper's conclusion leaves
+// open ("Further exploration of algorithms based on this idea are
+// required"): instead of one shared pool of arenas, predicted short-lived
+// *sites* are hashed across many small pools (Hanson's original design
+// gave each programmer-declared lifetime its own arena; hashing bounds
+// the memory when a program has thousands of predictor sites, as
+// ESPRESSO does).
+//
+// The payoff is pollution isolation — the paper's CFRAC failure mode. In
+// the shared design, one site's mispredicted long-lived objects pin all
+// sixteen arenas and the whole allocator degenerates. Two mechanisms
+// contain it here:
+//
+//  1. site-hashed pools: a polluting site only poisons the pool its hash
+//     lands in, so unrelated pools keep bump-allocating;
+//  2. online demotion: a site whose allocations repeatedly find their
+//     pool pinned (DemoteAfter strikes) has its prediction revoked for
+//     the rest of the run and goes to the general heap — the runtime
+//     answer to the paper's observation that "high error rates degrade
+//     performance dramatically and it will be important to identify
+//     programs that exhibit them". Once the polluter is demoted, its
+//     pool drains and the innocent sites sharing the bucket resume.
+//
+// Demotion blames the sites that OWN live objects in the pinned pool
+// (the actual polluters), so innocents sharing a bucket are never
+// revoked: they fall back only while the polluter's objects still pin
+// the pool, and resume once it drains. The arena area is bounded by
+// MaxSites x ArenasPerSite x ArenaSize.
+type SiteArena struct {
+	// ArenasPerSite and ArenaSize give each site's pool (default 2 x 4KB).
+	ArenasPerSite int
+	ArenaSize     int64
+	// MaxSites is the number of hash buckets sites map onto (default
+	// 64, i.e. at most 512KB of arena area with the defaults).
+	MaxSites int
+	// DemoteAfter is how many pinned-pool fallbacks a site tolerates
+	// before its prediction is revoked for the rest of the run
+	// (default 4; 0 keeps the default, negative disables demotion).
+	DemoteAfter int
+	// General is the fallback allocator; a default FirstFit if nil.
+	General *FirstFit
+
+	initialized bool
+	pools       map[uint64]*sitePool
+	where       map[trace.ObjectID]siteLoc
+	nextPool    int
+	strikes     map[uint64]int
+	demoted     map[uint64]bool
+	ops         OpCounts
+}
+
+type sitePool struct {
+	index  int // pool number, for address synthesis
+	arenas []siteArenaState
+	cur    int
+}
+
+// siteArenaState is an arena plus the sites owning its live objects.
+type siteArenaState struct {
+	used   int64
+	count  int64
+	owners map[uint64]int64 // full site key -> live objects
+}
+
+type siteLoc struct {
+	bucket uint64 // pool key (hashed)
+	full   uint64 // owning site
+	idx    int
+	off    int64
+}
+
+// siteArenaBase places the pools' synthetic addresses away from both the
+// general heap and the shared Arena window.
+const siteArenaBase = int64(1) << 42
+
+// NewSiteArena returns a per-site arena allocator with defaults.
+func NewSiteArena() *SiteArena {
+	s := &SiteArena{}
+	s.init()
+	return s
+}
+
+func (s *SiteArena) init() {
+	if s.initialized {
+		return
+	}
+	if s.ArenasPerSite == 0 {
+		s.ArenasPerSite = 2
+	}
+	if s.ArenaSize == 0 {
+		s.ArenaSize = 4 << 10
+	}
+	if s.MaxSites == 0 {
+		s.MaxSites = 64
+	}
+	if s.DemoteAfter == 0 {
+		s.DemoteAfter = 4
+	}
+	s.strikes = make(map[uint64]int)
+	s.demoted = make(map[uint64]bool)
+	if s.General == nil {
+		s.General = NewFirstFit()
+	}
+	s.pools = make(map[uint64]*sitePool)
+	s.where = make(map[trace.ObjectID]siteLoc)
+	s.initialized = true
+}
+
+// AllocAt places an object predicted short-lived at the given site key
+// (any stable 64-bit identity for the site; core uses the predictor's
+// mapped site). Unpredicted allocations go through Alloc.
+func (s *SiteArena) AllocAt(id trace.ObjectID, size int64, site uint64) error {
+	s.init()
+	if size <= 0 {
+		return fmt.Errorf("heapsim: non-positive allocation size %d", size)
+	}
+	s.ops.PredChecks++
+	if size > s.ArenaSize {
+		return s.generalAlloc(id, size, false)
+	}
+	if s.demoted[site] {
+		return s.generalAlloc(id, size, true)
+	}
+	fullSite := site
+	bucket := site % uint64(s.MaxSites) // hash bucket; pools are bounded
+	pool := s.pools[bucket]
+	if pool == nil {
+		pool = &sitePool{
+			index:  s.nextPool,
+			arenas: make([]siteArenaState, s.ArenasPerSite),
+		}
+		s.nextPool++
+		s.pools[bucket] = pool
+	}
+	// Bump in the pool's current arena, hunting within the pool only.
+	cur := &pool.arenas[pool.cur]
+	if cur.used+size > s.ArenaSize {
+		found := false
+		for i := 1; i <= len(pool.arenas); i++ {
+			idx := (pool.cur + i) % len(pool.arenas)
+			s.ops.ArenaScanSteps++
+			if pool.arenas[idx].count == 0 {
+				pool.cur = idx
+				pool.arenas[idx].used = 0
+				s.ops.ArenaResets++
+				found = true
+				break
+			}
+		}
+		if !found {
+			// Strike the sites whose live objects pin this pool; the
+			// polluters, not the blocked allocator.
+			if s.DemoteAfter > 0 {
+				for ai := range pool.arenas {
+					for owner, n := range pool.arenas[ai].owners {
+						if n <= 0 || s.demoted[owner] {
+							continue
+						}
+						s.strikes[owner]++
+						if s.strikes[owner] >= s.DemoteAfter {
+							s.demoted[owner] = true
+							s.ops.ArenaDemotions++
+						}
+					}
+				}
+			}
+			return s.generalAlloc(id, size, true)
+		}
+		cur = &pool.arenas[pool.cur]
+	}
+	s.where[id] = siteLoc{bucket: bucket, full: fullSite, idx: pool.cur, off: cur.used}
+	if cur.owners == nil {
+		cur.owners = make(map[uint64]int64, 4)
+	}
+	cur.owners[fullSite]++
+	cur.used += size
+	cur.count++
+	s.ops.Allocs++
+	s.ops.ArenaAllocs++
+	s.ops.ArenaObjects++
+	s.ops.ArenaBytes += size
+	return nil
+}
+
+// Alloc implements Allocator: without a site key, predicted allocations
+// are keyed on a single shared pseudo-site (degenerating toward the
+// shared design); core.RunSimSited uses AllocAt instead.
+func (s *SiteArena) Alloc(id trace.ObjectID, size int64, predictedShort bool) error {
+	s.init()
+	if !predictedShort {
+		return s.generalAlloc(id, size, false)
+	}
+	return s.AllocAt(id, size, 0)
+}
+
+func (s *SiteArena) generalAlloc(id trace.ObjectID, size int64, fallback bool) error {
+	if _, dup := s.where[id]; dup {
+		return errDoubleAlloc(id)
+	}
+	if err := s.General.Alloc(id, size, false); err != nil {
+		return err
+	}
+	s.ops.Allocs++
+	s.ops.GeneralBytes += size
+	if fallback {
+		s.ops.ArenaFallbacks++
+	}
+	return nil
+}
+
+// Free implements Allocator.
+func (s *SiteArena) Free(id trace.ObjectID) error {
+	s.init()
+	if loc, ok := s.where[id]; ok {
+		delete(s.where, id)
+		st := &s.pools[loc.bucket].arenas[loc.idx]
+		if st.count <= 0 {
+			return fmt.Errorf("heapsim: site-arena count underflow freeing %d", id)
+		}
+		st.count--
+		if st.owners[loc.full]--; st.owners[loc.full] <= 0 {
+			delete(st.owners, loc.full)
+		}
+		s.ops.Frees++
+		s.ops.ArenaFrees++
+		return nil
+	}
+	if err := s.General.Free(id); err != nil {
+		return err
+	}
+	s.ops.Frees++
+	return nil
+}
+
+// ArenaArea reports the total arena bytes currently reserved.
+func (s *SiteArena) ArenaArea() int64 {
+	s.init()
+	return int64(len(s.pools)) * int64(s.ArenasPerSite) * s.ArenaSize
+}
+
+// HeapSize implements Allocator: general heap plus the reserved pools.
+func (s *SiteArena) HeapSize() int64 {
+	s.init()
+	return s.General.HeapSize() + s.ArenaArea()
+}
+
+// MaxHeapSize implements Allocator (pools only grow).
+func (s *SiteArena) MaxHeapSize() int64 {
+	s.init()
+	return s.General.MaxHeapSize() + s.ArenaArea()
+}
+
+// Counts implements Allocator, merging the fallback heap's counters.
+func (s *SiteArena) Counts() OpCounts {
+	s.init()
+	c := s.ops
+	g := s.General.Counts()
+	c.FFAllocs = g.FFAllocs
+	c.FFFrees = g.FFFrees
+	c.FFProbes = g.FFProbes
+	c.FFExtends = g.FFExtends
+	c.FFSplits = g.FFSplits
+	c.FFCoalesces = g.FFCoalesces
+	return c
+}
+
+// Addr implements Allocator with synthetic pool addresses.
+func (s *SiteArena) Addr(id trace.ObjectID) (int64, bool) {
+	s.init()
+	if loc, ok := s.where[id]; ok {
+		pool := s.pools[loc.bucket]
+		poolBase := siteArenaBase + int64(pool.index)*int64(s.ArenasPerSite)*s.ArenaSize
+		return poolBase + int64(loc.idx)*s.ArenaSize + loc.off, true
+	}
+	return s.General.Addr(id)
+}
+
+// PinnedPools reports how many site pools currently have every arena
+// holding a live object.
+func (s *SiteArena) PinnedPools() int {
+	s.init()
+	n := 0
+	for _, pool := range s.pools {
+		pinned := true
+		for _, a := range pool.arenas {
+			if a.count == 0 {
+				pinned = false
+				break
+			}
+		}
+		if pinned {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,105 @@
+package locality
+
+import (
+	"container/list"
+	"fmt"
+)
+
+// PageLRU simulates demand paging with LRU replacement over a fixed
+// number of resident frames — the "page miss rates" half of the paper's
+// locality claim ("it localizes the references to short-lived objects,
+// reducing the cache and page miss rates").
+type PageLRU struct {
+	pageSize int64
+	frames   int
+
+	order  *list.List              // front = most recently used
+	frame  map[int64]*list.Element // page number -> node
+	faults int64
+	refs   int64
+}
+
+// NewPageLRU builds a pager with the given resident-set size in frames of
+// pageSize bytes.
+func NewPageLRU(frames int, pageSize int64) (*PageLRU, error) {
+	if frames <= 0 || pageSize <= 0 {
+		return nil, fmt.Errorf("locality: non-positive paging geometry")
+	}
+	return &PageLRU{
+		pageSize: pageSize,
+		frames:   frames,
+		order:    list.New(),
+		frame:    make(map[int64]*list.Element),
+	}, nil
+}
+
+// Access touches one address; it returns true on a page fault.
+func (p *PageLRU) Access(addr int64) bool {
+	p.refs++
+	page := addr / p.pageSize
+	if el, ok := p.frame[page]; ok {
+		p.order.MoveToFront(el)
+		return false
+	}
+	p.faults++
+	if p.order.Len() >= p.frames {
+		victim := p.order.Back()
+		p.order.Remove(victim)
+		delete(p.frame, victim.Value.(int64))
+	}
+	p.frame[page] = p.order.PushFront(page)
+	return true
+}
+
+// Faults returns the total page faults.
+func (p *PageLRU) Faults() int64 { return p.faults }
+
+// Refs returns the total accesses.
+func (p *PageLRU) Refs() int64 { return p.refs }
+
+// FaultRate returns faults/accesses, or 0 before any access.
+func (p *PageLRU) FaultRate() float64 {
+	if p.refs == 0 {
+		return 0
+	}
+	return float64(p.faults) / float64(p.refs)
+}
+
+// ReplayPaged streams a window of object references through the pager,
+// round-robining like Replay does for caches.
+func ReplayPaged(p *PageLRU, window []Ref, refsCap int64) {
+	type cursor struct {
+		r    Ref
+		left int64
+		off  int64
+	}
+	cur := make([]cursor, 0, len(window))
+	for _, r := range window {
+		n := r.Refs
+		if refsCap > 0 && n > refsCap {
+			n = refsCap
+		}
+		if n <= 0 {
+			continue
+		}
+		cur = append(cur, cursor{r: r, left: n})
+	}
+	active := len(cur)
+	for active > 0 {
+		for i := range cur {
+			if cur[i].left == 0 {
+				continue
+			}
+			k := &cur[i]
+			p.Access(k.r.Addr + k.off)
+			k.off += 16
+			if k.off >= k.r.Size {
+				k.off = 0
+			}
+			k.left--
+			if k.left == 0 {
+				active--
+			}
+		}
+	}
+}

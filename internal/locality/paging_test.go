@@ -1,0 +1,87 @@
+package locality
+
+import (
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func TestPageLRUValidation(t *testing.T) {
+	if _, err := NewPageLRU(0, 4096); err == nil {
+		t.Error("zero frames accepted")
+	}
+	if _, err := NewPageLRU(4, 0); err == nil {
+		t.Error("zero page size accepted")
+	}
+}
+
+func TestPageLRUBasics(t *testing.T) {
+	p, _ := NewPageLRU(2, 4096)
+	if !p.Access(0) {
+		t.Fatal("cold access did not fault")
+	}
+	if p.Access(100) {
+		t.Fatal("same-page access faulted")
+	}
+	p.Access(5000)  // page 1, fault
+	p.Access(0)     // page 0 still resident (MRU order: 0, 1)
+	p.Access(10000) // page 2, evicts LRU = page 1
+	if !p.Access(5000) {
+		t.Fatal("evicted page did not fault")
+	}
+	if p.Refs() != 6 {
+		t.Fatalf("refs = %d", p.Refs())
+	}
+	if p.Faults() != 4 {
+		t.Fatalf("faults = %d, want 4", p.Faults())
+	}
+	if p.FaultRate() <= 0 {
+		t.Fatal("fault rate zero")
+	}
+}
+
+func TestPageLRUWorkingSetFits(t *testing.T) {
+	// 16 frames of 4KB hold a 64KB arena area exactly: cycling through
+	// it faults only on first touch.
+	p, _ := NewPageLRU(16, 4096)
+	for round := 0; round < 10; round++ {
+		for addr := int64(0); addr < 64<<10; addr += 512 {
+			p.Access(addr)
+		}
+	}
+	if p.Faults() != 16 {
+		t.Fatalf("faults = %d, want 16 cold faults only", p.Faults())
+	}
+}
+
+func TestPageLRUThrashing(t *testing.T) {
+	// A cyclic sweep over twice the resident set thrashes under LRU.
+	p, _ := NewPageLRU(16, 4096)
+	for round := 0; round < 5; round++ {
+		for addr := int64(0); addr < 128<<10; addr += 4096 {
+			p.Access(addr)
+		}
+	}
+	if p.FaultRate() < 0.99 {
+		t.Fatalf("cyclic over-capacity sweep should thrash: rate %.2f", p.FaultRate())
+	}
+}
+
+func TestReplayPagedArenaBeatsScattered(t *testing.T) {
+	r := xrand.New(3)
+	mk := func(span int64) []Ref {
+		refs := make([]Ref, 600)
+		for i := range refs {
+			refs[i] = Ref{Addr: r.Range(0, span-128), Size: 64, Refs: 40}
+		}
+		return refs
+	}
+	packed, _ := NewPageLRU(32, 4096) // 128KB resident
+	ReplayPaged(packed, mk(64<<10), 0)
+	scattered, _ := NewPageLRU(32, 4096)
+	ReplayPaged(scattered, mk(8<<20), 0)
+	if packed.FaultRate() >= scattered.FaultRate() {
+		t.Fatalf("packed fault rate %.4f not below scattered %.4f",
+			packed.FaultRate(), scattered.FaultRate())
+	}
+}

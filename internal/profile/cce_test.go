@@ -1,0 +1,108 @@
+package profile
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestCCEPredictorBasics(t *testing.T) {
+	tr := mkTrace(t, []allocSpec{
+		{[]string{"main", "hot", "m"}, 16, 0, 0},
+		{[]string{"main", "hot", "m"}, 16, 0, 0},
+		{[]string{"main", "cold", "m"}, 16, -1, 0},
+		{[]string{"main", "pad", "m"}, 50000, 0, 0},
+	})
+	objs, err := trace.Annotate(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, collisions := TrainCCE(tr.Table, objs, Config{ShortThreshold: 1000}, 7)
+	if collisions != 0 {
+		t.Logf("note: %d residual key collisions among 3 chains", collisions)
+	}
+	hot := tr.Table.InternNames("main", "hot", "m")
+	cold := tr.Table.InternNames("main", "cold", "m")
+	if !p.PredictShort(hot, 16) && collisions == 0 {
+		t.Error("all-short site not predicted by CCE")
+	}
+	if p.PredictShort(cold, 16) {
+		t.Error("long-lived site predicted by CCE")
+	}
+	ev := EvaluateCCE(objs, p)
+	if ev.ErrorBytes != 0 {
+		t.Errorf("self CCE evaluation has error bytes: %d", ev.ErrorBytes)
+	}
+	if ev.TotalBytes != 16+16+16+50000 {
+		t.Errorf("TotalBytes = %d", ev.TotalBytes)
+	}
+}
+
+// TestCCECollisionDisablesNotMisfires builds a forced collision: with only
+// two functions and chains a>b vs b>a, XOR keys are identical by
+// construction. The short site must then NOT be predicted (the cell mixes
+// a long object), rather than the long site being predicted short.
+func TestCCECollisionDisablesNotMisfires(t *testing.T) {
+	tr := mkTrace(t, []allocSpec{
+		{[]string{"a", "b"}, 16, 0, 0},
+		{[]string{"a", "b"}, 16, 0, 0},
+		{[]string{"b", "a"}, 16, -1, 0},
+		{[]string{"pad"}, 50000, 0, 0},
+	})
+	objs, err := trace.Annotate(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := TrainCCE(tr.Table, objs, Config{ShortThreshold: 1000}, 3)
+	short := tr.Table.InternNames("a", "b")
+	long := tr.Table.InternNames("b", "a")
+	if p.PredictShort(short, 16) {
+		t.Error("colliding short site should have been disabled")
+	}
+	if p.PredictShort(long, 16) {
+		t.Error("long site predicted short through collision")
+	}
+	ev := EvaluateCCE(objs, p)
+	if ev.ErrorBytes != 0 {
+		t.Errorf("collision produced error bytes: %d", ev.ErrorBytes)
+	}
+}
+
+// TestCCEApproachesExactPredictor checks on a larger synthetic trace that
+// the CCE predictor captures most of what the exact site+size predictor
+// captures (the paper's premise for proposing the scheme).
+func TestCCEApproachesExactPredictor(t *testing.T) {
+	var specs []allocSpec
+	// 30 distinct short-lived sites and 5 long-lived ones.
+	for i := 0; i < 30; i++ {
+		name := "s" + string(rune('a'+i%26)) + string(rune('0'+i/26))
+		for j := 0; j < 20; j++ {
+			specs = append(specs, allocSpec{[]string{"main", "run", name, "xmalloc"}, 16, 0, 0})
+		}
+	}
+	for i := 0; i < 5; i++ {
+		name := "l" + string(rune('a'+i))
+		specs = append(specs, allocSpec{[]string{"main", "init", name, "xmalloc"}, 16, -1, 0})
+	}
+	specs = append(specs, allocSpec{[]string{"main", "pad", "m"}, 100000, 0, 0})
+	tr := mkTrace(t, specs)
+	objs, err := trace.Annotate(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := Config{ShortThreshold: 1000}
+	exact := TrainObjects(tr.Table, objs, cfg).Predictor()
+	exactEv := EvaluateObjects(tr.Table, objs, exact)
+
+	cce, _ := TrainCCE(tr.Table, objs, cfg, 11)
+	cceEv := EvaluateCCE(objs, cce)
+
+	if cceEv.PredictedShortBytes < exactEv.PredictedShortBytes*9/10 {
+		t.Errorf("CCE predicted %d bytes, exact %d: too much lost to collisions",
+			cceEv.PredictedShortBytes, exactEv.PredictedShortBytes)
+	}
+	if cceEv.ErrorBytes != 0 {
+		t.Errorf("CCE self evaluation misfired: %d error bytes", cceEv.ErrorBytes)
+	}
+}

@@ -1,0 +1,117 @@
+package profile
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/callchain"
+	"repro/internal/trace"
+)
+
+func TestDBExportAndReload(t *testing.T) {
+	tr := mkTrace(t, []allocSpec{
+		{[]string{"main", "hot", "m"}, 16, 0, 3},
+		{[]string{"main", "hot", "m"}, 16, 0, 3},
+		{[]string{"main", "cold", "m"}, 32, -1, 9},
+		{[]string{"main", "pad", "m"}, 50000, 0, 0},
+	})
+	db, err := Train(tr, Config{ShortThreshold: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	file := db.Export("toy")
+	if file.Program != "toy" {
+		t.Fatalf("program %q", file.Program)
+	}
+	if len(file.Sites) != 3 {
+		t.Fatalf("%d site records", len(file.Sites))
+	}
+	// Sorted by descending bytes: pad first.
+	if file.Sites[0].Chain[1] != "pad" {
+		t.Fatalf("sites not sorted by volume: %+v", file.Sites[0])
+	}
+	admitted := 0
+	for _, s := range file.Sites {
+		if s.Admitted {
+			admitted++
+		}
+		if s.Objects == 0 || len(s.Chain) == 0 {
+			t.Fatalf("empty record %+v", s)
+		}
+	}
+	// Only "hot" is all-short: pad's lifetime is its own 50000-byte
+	// size, which exceeds the 1000-byte threshold.
+	if admitted != 1 {
+		t.Fatalf("admitted = %d, want 1", admitted)
+	}
+
+	var buf bytes.Buffer
+	if err := db.WriteJSON(&buf, "toy"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "\"chain\"") {
+		t.Fatal("JSON missing chain field")
+	}
+
+	p, err := ReadPredictor(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumSites() != 1 {
+		t.Fatalf("reloaded predictor has %d sites, want 1", p.NumSites())
+	}
+	// The reloaded predictor must behave like the original on a fresh
+	// trace (cross-table mapping by names).
+	test := mkTrace(t, []allocSpec{
+		{[]string{"main", "hot", "m"}, 16, 0, 0},
+		{[]string{"main", "cold", "m"}, 32, -1, 0},
+		{[]string{"main", "pad", "m"}, 50000, 0, 0},
+	})
+	ev, err := Evaluate(test, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.PredictedShortBytes != 16 {
+		t.Fatalf("reloaded predictor predicted %d bytes, want 16", ev.PredictedShortBytes)
+	}
+}
+
+func TestReadPredictorRejectsGarbage(t *testing.T) {
+	if _, err := ReadPredictor(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := ReadPredictor(strings.NewReader(`{"config":{},"sites":[{"chain":["a"],"size":-4,"admitted":true}]}`)); err == nil {
+		t.Fatal("negative size accepted")
+	}
+}
+
+func TestExportQuantilesPresent(t *testing.T) {
+	tb := tableWith(t)
+	var objs []trace.Object
+	for i := 0; i < 50; i++ {
+		objs = append(objs, trace.Object{
+			ID: trace.ObjectID(i), Size: 8,
+			Chain:    tb.InternNames("main", "s", "m"),
+			Lifetime: int64(10 * (i + 1)), Freed: true,
+		})
+	}
+	db := TrainObjects(tb, objs, Config{ShortThreshold: 1 << 20})
+	file := db.Export("")
+	if len(file.Sites) != 1 {
+		t.Fatalf("%d sites", len(file.Sites))
+	}
+	q := file.Sites[0].Quantiles
+	if len(q) != 5 {
+		t.Fatalf("quantile markers: %v", q)
+	}
+	if q[0] != 10 || q[4] != 500 {
+		t.Fatalf("min/max markers %v, want 10/500", q)
+	}
+}
+
+func tableWith(t *testing.T) *callchain.Table {
+	t.Helper()
+	return callchain.NewTable()
+}

@@ -1,0 +1,112 @@
+package profile
+
+import (
+	"testing"
+
+	"repro/internal/synth"
+	"repro/internal/trace"
+)
+
+func TestTrainMultiIntersectsAdmission(t *testing.T) {
+	// Run A: "site" is all-short. Run B: the same site allocates a
+	// long-lived object. The merged predictor must reject it.
+	runA := mkTrace(t, []allocSpec{
+		{[]string{"main", "site", "m"}, 16, 0, 0},
+		{[]string{"main", "other", "m"}, 24, 0, 0},
+		{[]string{"main", "pad", "m"}, 50000, 0, 0},
+	})
+	runB := mkTrace(t, []allocSpec{
+		{[]string{"main", "site", "m"}, 16, -1, 0},
+		{[]string{"main", "other", "m"}, 24, 0, 0},
+		{[]string{"main", "pad", "m"}, 50000, 0, 0},
+	})
+	p, err := TrainMulti([]*trace.Trace{runA, runB}, Config{ShortThreshold: 1000}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := p.NewMapper(runA.Table)
+	if m.PredictShort(runA.Table.InternNames("main", "site", "m"), 16) {
+		t.Fatal("site long-lived in run B was still admitted")
+	}
+	if !m.PredictShort(runA.Table.InternNames("main", "other", "m"), 24) {
+		t.Fatal("consistently short site rejected")
+	}
+}
+
+func TestTrainMultiPartialAppearance(t *testing.T) {
+	runA := mkTrace(t, []allocSpec{
+		{[]string{"main", "onlyA", "m"}, 16, 0, 0},
+		{[]string{"main", "pad", "m"}, 50000, 0, 0},
+	})
+	runB := mkTrace(t, []allocSpec{
+		{[]string{"main", "onlyB", "m"}, 24, 0, 0},
+		{[]string{"main", "pad", "m"}, 50000, 0, 0},
+	})
+	lenient, err := TrainMulti([]*trace.Trace{runA, runB}, Config{ShortThreshold: 1000}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	strict, err := TrainMulti([]*trace.Trace{runA, runB}, Config{ShortThreshold: 1000}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mL := lenient.NewMapper(runA.Table)
+	if !mL.PredictShort(runA.Table.InternNames("main", "onlyA", "m"), 16) {
+		t.Fatal("lenient mode rejected a single-run site")
+	}
+	mS := strict.NewMapper(runA.Table)
+	if mS.PredictShort(runA.Table.InternNames("main", "onlyA", "m"), 16) {
+		t.Fatal("strict mode admitted a site absent from run B")
+	}
+}
+
+func TestTrainMultiEmpty(t *testing.T) {
+	if _, err := TrainMulti(nil, DefaultConfig(), false); err == nil {
+		t.Fatal("empty training set accepted")
+	}
+}
+
+// TestTrainMultiReducesError shows the point of multiple training inputs
+// on the CFRAC model: training on BOTH inputs removes the sites that
+// misfire on the test input, driving error bytes to zero at some cost in
+// predicted volume.
+func TestTrainMultiReducesError(t *testing.T) {
+	m := synth.ByName("cfrac")
+	gen := func(in synth.Input, seed uint64) *trace.Trace {
+		tr, err := m.Generate(synth.Config{Input: in, Seed: seed, Scale: 0.02})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+	train := gen(synth.Train, 1)
+	test := gen(synth.Test, 2)
+	test2 := gen(synth.Test, 3) // a second, distinct test-like training run
+
+	cfg := DefaultConfig()
+	singleDB, err := Train(train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single := singleDB.Predictor()
+	multi, err := TrainMulti([]*trace.Trace{train, test2}, cfg, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	evSingle, err := Evaluate(test, single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evMulti, err := Evaluate(test, multi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evSingle.ErrorPct() <= 0.5 {
+		t.Fatalf("single-input training shows no error to remove: %.2f", evSingle.ErrorPct())
+	}
+	if evMulti.ErrorPct() >= evSingle.ErrorPct()/2 {
+		t.Fatalf("multi-input training left error at %.2f%% (single: %.2f%%)",
+			evMulti.ErrorPct(), evSingle.ErrorPct())
+	}
+}

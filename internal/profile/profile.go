@@ -1,0 +1,483 @@
+// Package profile implements the paper's lifetime-prediction machinery:
+// training a per-allocation-site lifetime database from a trace (§4.1),
+// selecting the sites whose objects were all short-lived as predictors
+// (§4), mapping training sites onto a different execution's sites with
+// 4-byte size rounding (§4, "true prediction"), and evaluating a predictor
+// against a trace to produce the Table 4/5/6 metrics.
+//
+// An allocation site is a (call-chain, size) pair. The call-chain used for
+// the site key is configurable: the complete chain with recursion cycles
+// eliminated (the paper's infinity case), a length-N sub-chain without
+// elimination (Table 6's rows), or no chain at all (Table 5's size-only
+// predictor).
+package profile
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/callchain"
+	"repro/internal/quantile"
+	"repro/internal/trace"
+)
+
+// Config controls site keying and predictor admission.
+type Config struct {
+	// ShortThreshold is the lifetime (bytes allocated) below which an
+	// object counts as short-lived. The paper fixes 32 kilobytes.
+	ShortThreshold int64
+
+	// SizeRounding rounds object sizes up to a multiple of this value
+	// when forming site keys, which is what lets corresponding sites map
+	// across runs (§4: "by rounding the object size to a multiple of
+	// four bytes, we found the corresponding sites were more likely to
+	// map correctly"). The paper uses 4.
+	SizeRounding int64
+
+	// ChainLength selects the call-chain abstraction: 0 uses the
+	// complete chain with recursion elimination; N > 0 uses the last N
+	// callers without elimination (matching the paper's note that the
+	// infinity case alone performs cycle elimination).
+	ChainLength int
+
+	// SizeOnly ignores the chain entirely, keying sites by rounded size
+	// alone (Table 5).
+	SizeOnly bool
+
+	// AdmitFraction is the fraction of a site's training objects that
+	// must have been short-lived for the site to be admitted as a
+	// predictor. The paper requires all of them (1.0); lower values are
+	// an ablation ("how large should this percentage be?", §4.1).
+	AdmitFraction float64
+
+	// HistogramRule admits a site by consulting its P² quantile
+	// histogram instead of exact short/long counts: the site is admitted
+	// iff the estimated AdmitFraction-quantile of its lifetime
+	// distribution lies below the threshold. This is how the paper
+	// frames the decision ("If a large percentage of the objects
+	// allocated at that site are short-lived, we consider that site to
+	// be an excellent predictor") — the histogram being the only
+	// per-site record its tool keeps. With AdmitFraction 1.0 the rule
+	// consults the histogram's tracked maximum, which is exact, so both
+	// rules coincide; at lower fractions the P² approximation differs
+	// from exact counting.
+	HistogramRule bool
+
+	// HistCells sets the number of equiprobable cells in each site's P2
+	// lifetime quantile histogram. Zero defaults to 4 (quartiles).
+	HistCells int
+}
+
+// DefaultConfig returns the paper's configuration: 32KB threshold, 4-byte
+// rounding, complete chains, all-short admission, quartile histograms.
+func DefaultConfig() Config {
+	return Config{
+		ShortThreshold: 32 << 10,
+		SizeRounding:   4,
+		ChainLength:    0,
+		AdmitFraction:  1.0,
+		HistCells:      4,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	if c.ShortThreshold == 0 {
+		c.ShortThreshold = 32 << 10
+	}
+	if c.SizeRounding == 0 {
+		c.SizeRounding = 4
+	}
+	if c.AdmitFraction == 0 {
+		c.AdmitFraction = 1.0
+	}
+	if c.HistCells == 0 {
+		c.HistCells = 4
+	}
+	return c
+}
+
+// roundSize rounds a request size up to the configured multiple.
+func (c Config) roundSize(size int64) int64 {
+	r := c.SizeRounding
+	if r <= 1 {
+		return size
+	}
+	return (size + r - 1) / r * r
+}
+
+// siteChain transforms a raw birth chain into the site-key chain under the
+// configuration, interning any derived chains into tb.
+func (c Config) siteChain(tb *callchain.Table, raw callchain.ChainID) callchain.ChainID {
+	if c.SizeOnly {
+		return 0
+	}
+	if c.ChainLength > 0 {
+		return tb.SubChain(raw, c.ChainLength)
+	}
+	return tb.EliminateRecursion(raw)
+}
+
+// SiteKey identifies an allocation site under some Config. The chain id is
+// relative to the table the DB or Predictor was built with.
+type SiteKey struct {
+	Chain callchain.ChainID
+	Size  int64
+}
+
+// SiteStats accumulates the training observations for one site.
+type SiteStats struct {
+	Objects     int64
+	Bytes       int64
+	ShortBytes  int64
+	ShortCount  int64
+	Refs        int64
+	MaxLifetime int64
+	Hist        *quantile.Histogram
+}
+
+// admitted reports whether the site passes the exact-count admission rule.
+func (s *SiteStats) admitted(frac float64) bool {
+	if s.Objects == 0 {
+		return false
+	}
+	return float64(s.ShortCount) >= frac*float64(s.Objects)
+}
+
+// admittedByHistogram applies the quantile-histogram rule instead.
+func (s *SiteStats) admittedByHistogram(frac float64, threshold int64) bool {
+	if s.Objects == 0 {
+		return false
+	}
+	return s.Hist.Quantile(frac) < float64(threshold)
+}
+
+// DB is a trained site database: the output of a training run, mapping
+// every site to its lifetime statistics and quantile histogram.
+type DB struct {
+	Config Config
+	Table  *callchain.Table
+	Sites  map[SiteKey]*SiteStats
+}
+
+// Train builds a site database from a trace. The DB shares the trace's
+// chain table (it interns derived sub-chains into it).
+func Train(tr *trace.Trace, cfg Config) (*DB, error) {
+	objs, err := trace.Annotate(tr)
+	if err != nil {
+		return nil, err
+	}
+	return TrainObjects(tr.Table, objs, cfg), nil
+}
+
+// TrainObjects builds a site database from pre-annotated objects whose
+// chains live in tb.
+func TrainObjects(tb *callchain.Table, objs []trace.Object, cfg Config) *DB {
+	cfg = cfg.withDefaults()
+	db := &DB{Config: cfg, Table: tb, Sites: make(map[SiteKey]*SiteStats)}
+	for i := range objs {
+		db.addObject(&objs[i])
+	}
+	return db
+}
+
+func (db *DB) addObject(o *trace.Object) {
+	key := SiteKey{
+		Chain: db.Config.siteChain(db.Table, o.Chain),
+		Size:  db.Config.roundSize(o.Size),
+	}
+	st := db.Sites[key]
+	if st == nil {
+		h, err := quantile.NewHistogram(db.Config.HistCells)
+		if err != nil {
+			panic(fmt.Sprintf("profile: bad HistCells: %v", err))
+		}
+		st = &SiteStats{Hist: h}
+		db.Sites[key] = st
+	}
+	st.Objects++
+	st.Bytes += o.Size
+	st.Refs += o.Refs
+	st.Hist.Add(float64(o.Lifetime))
+	if o.Lifetime > st.MaxLifetime {
+		st.MaxLifetime = o.Lifetime
+	}
+	if o.Lifetime < db.Config.ShortThreshold {
+		st.ShortCount++
+		st.ShortBytes += o.Size
+	}
+}
+
+// NumSites reports the number of distinct sites observed.
+func (db *DB) NumSites() int { return len(db.Sites) }
+
+// Predictor extracts the set of admitted short-lived predictor sites.
+func (db *DB) Predictor() *Predictor {
+	p := &Predictor{
+		Config: db.Config,
+		table:  db.Table,
+		keys:   make(map[SiteKey]struct{}),
+	}
+	for k, st := range db.Sites {
+		ok := st.admitted(db.Config.AdmitFraction)
+		if db.Config.HistogramRule {
+			ok = st.admittedByHistogram(db.Config.AdmitFraction, db.Config.ShortThreshold)
+		}
+		if ok {
+			p.keys[k] = struct{}{}
+		}
+	}
+	return p
+}
+
+// Predictor is the trained short-lived-site database the allocator
+// consults at each allocation (paper §5.1: "the presence of the allocation
+// site in the short-lived site database indicates an arena allocation").
+type Predictor struct {
+	Config Config
+	table  *callchain.Table
+	keys   map[SiteKey]struct{}
+}
+
+// NumSites reports how many predictor sites were admitted.
+func (p *Predictor) NumSites() int { return len(p.keys) }
+
+// Table returns the chain table the predictor's keys live in.
+func (p *Predictor) Table() *callchain.Table { return p.table }
+
+// PredictShort reports whether an allocation with the given raw chain (in
+// p's own table) and size is predicted short-lived.
+func (p *Predictor) PredictShort(raw callchain.ChainID, size int64) bool {
+	key := SiteKey{
+		Chain: p.Config.siteChain(p.table, raw),
+		Size:  p.Config.roundSize(size),
+	}
+	_, ok := p.keys[key]
+	return ok
+}
+
+// Mapper translates chains from another execution's table into the
+// predictor's table by function name — the paper's cross-run site mapping.
+// It memoizes per raw chain, so the per-allocation cost is a map hit.
+type Mapper struct {
+	p     *Predictor
+	from  *callchain.Table
+	memo  map[callchain.ChainID]callchain.ChainID // raw from-chain -> site chain in p.table
+	hits  map[SiteKey]int64                       // predictor sites that matched
+	total int64
+}
+
+// NewMapper prepares a mapper from chains interned in from onto p.
+func (p *Predictor) NewMapper(from *callchain.Table) *Mapper {
+	return &Mapper{
+		p:    p,
+		from: from,
+		memo: make(map[callchain.ChainID]callchain.ChainID),
+		hits: make(map[SiteKey]int64),
+	}
+}
+
+// siteChainFrom maps a raw chain in the foreign table to the transformed
+// site chain interned in the predictor's table.
+func (m *Mapper) siteChainFrom(raw callchain.ChainID) callchain.ChainID {
+	if mapped, ok := m.memo[raw]; ok {
+		return mapped
+	}
+	// Transform in the foreign table first (sub-chain / elimination are
+	// structural), then re-intern by name in the predictor's table.
+	transformed := m.p.Config.siteChain(m.from, raw)
+	fs := m.from.Funcs(transformed)
+	names := make([]string, len(fs))
+	for i, f := range fs {
+		names[i] = m.from.FuncName(f)
+	}
+	mapped := m.p.table.InternNames(names...)
+	m.memo[raw] = mapped
+	return mapped
+}
+
+// PredictShort reports the prediction for an allocation observed in the
+// foreign execution, and records site-usage accounting.
+func (m *Mapper) PredictShort(raw callchain.ChainID, size int64) bool {
+	key := SiteKey{
+		Chain: m.siteChainFrom(raw),
+		Size:  m.p.Config.roundSize(size),
+	}
+	m.total++
+	if _, ok := m.p.keys[key]; ok {
+		m.hits[key]++
+		return true
+	}
+	return false
+}
+
+// SitesMatched reports how many distinct predictor sites matched at least
+// one allocation — the paper's "Sites Used" under true prediction.
+func (m *Mapper) SitesMatched() int { return len(m.hits) }
+
+// Eval holds the prediction-effectiveness metrics of Tables 4, 5 and 6.
+type Eval struct {
+	TotalSites   int // distinct sites in the evaluated trace
+	SitesUsed    int // predictor sites that matched >= 1 allocation
+	TotalObjects int64
+	TotalBytes   int64
+
+	ActualShortBytes    int64 // objects that really died before the threshold
+	PredictedBytes      int64 // bytes predicted short (correct or not)
+	PredictedShortBytes int64 // predicted short AND actually short
+	ErrorBytes          int64 // predicted short but actually long
+
+	PredictedRefs int64 // heap refs to predicted-short objects
+	TotalRefs     int64
+}
+
+// ActualShortPct returns 100 * actual-short / total bytes.
+func (e Eval) ActualShortPct() float64 { return pct(e.ActualShortBytes, e.TotalBytes) }
+
+// PredictedShortPct returns 100 * correctly-predicted / total bytes — the
+// paper's "Predicted Short-lived Bytes (%)".
+func (e Eval) PredictedShortPct() float64 { return pct(e.PredictedShortBytes, e.TotalBytes) }
+
+// ErrorPct returns 100 * error bytes / total bytes.
+func (e Eval) ErrorPct() float64 { return pct(e.ErrorBytes, e.TotalBytes) }
+
+// NewRefPct returns 100 * refs-to-predicted / total heap refs — Table 6's
+// "New Ref" column.
+func (e Eval) NewRefPct() float64 { return pct(e.PredictedRefs, e.TotalRefs) }
+
+func pct(part, whole int64) float64 {
+	if whole == 0 {
+		return 0
+	}
+	return 100 * float64(part) / float64(whole)
+}
+
+// Evaluate runs the predictor over a trace (self prediction when the trace
+// is the training trace, true prediction otherwise — the chains are mapped
+// by name either way) and returns the effectiveness metrics.
+func Evaluate(tr *trace.Trace, p *Predictor) (Eval, error) {
+	objs, err := trace.Annotate(tr)
+	if err != nil {
+		return Eval{}, err
+	}
+	return EvaluateObjects(tr.Table, objs, p), nil
+}
+
+// EvaluateObjects evaluates pre-annotated objects whose chains live in tb.
+func EvaluateObjects(tb *callchain.Table, objs []trace.Object, p *Predictor) Eval {
+	m := p.NewMapper(tb)
+	var ev Eval
+	seen := make(map[SiteKey]struct{})
+	for i := range objs {
+		o := &objs[i]
+		key := SiteKey{Chain: m.siteChainFrom(o.Chain), Size: p.Config.roundSize(o.Size)}
+		if _, ok := seen[key]; !ok {
+			seen[key] = struct{}{}
+		}
+		ev.TotalObjects++
+		ev.TotalBytes += o.Size
+		ev.TotalRefs += o.Refs
+		short := o.Lifetime < p.Config.ShortThreshold
+		if short {
+			ev.ActualShortBytes += o.Size
+		}
+		if m.PredictShort(o.Chain, o.Size) {
+			ev.PredictedBytes += o.Size
+			ev.PredictedRefs += o.Refs
+			if short {
+				ev.PredictedShortBytes += o.Size
+			} else {
+				ev.ErrorBytes += o.Size
+			}
+		}
+	}
+	ev.TotalSites = len(seen)
+	ev.SitesUsed = m.SitesMatched()
+	return ev
+}
+
+// LifetimeQuantiles returns exact quantiles of the trace's object-lifetime
+// distribution at the given probabilities. When byteWeighted is true each
+// object is weighted by its size, which is how the paper's Table 3 reads
+// ("each column gives the lifetime for which that percentage of bytes is
+// alive"); otherwise objects weigh equally.
+func LifetimeQuantiles(objs []trace.Object, probs []float64, byteWeighted bool) []float64 {
+	type lw struct {
+		life int64
+		w    int64
+	}
+	items := make([]lw, len(objs))
+	var totalW int64
+	for i := range objs {
+		w := int64(1)
+		if byteWeighted {
+			w = objs[i].Size
+		}
+		items[i] = lw{objs[i].Lifetime, w}
+		totalW += w
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i].life < items[j].life })
+	out := make([]float64, len(probs))
+	if len(items) == 0 || totalW == 0 {
+		for i := range out {
+			out[i] = math.NaN()
+		}
+		return out
+	}
+	for pi, p := range probs {
+		target := int64(p * float64(totalW))
+		var acc int64
+		val := items[len(items)-1].life
+		for _, it := range items {
+			acc += it.w
+			if acc >= target {
+				val = it.life
+				break
+			}
+		}
+		out[pi] = float64(val)
+	}
+	return out
+}
+
+// newTableForPredictor returns the fresh chain table a deserialized
+// predictor interns its site chains into.
+func newTableForPredictor() *callchain.Table { return callchain.NewTable() }
+
+// TopSizes returns the n most allocation-heavy rounded request sizes in
+// the database — the profile a CUSTOMALLOC-style allocator (the paper's
+// reference [9]) synthesizes its per-size free lists from.
+func (db *DB) TopSizes(n int) []int64 {
+	counts := make(map[int64]int64)
+	for key, st := range db.Sites {
+		counts[key.Size] += st.Objects
+	}
+	sizes := make([]int64, 0, len(counts))
+	for s := range counts {
+		sizes = append(sizes, s)
+	}
+	sort.Slice(sizes, func(i, j int) bool {
+		if counts[sizes[i]] != counts[sizes[j]] {
+			return counts[sizes[i]] > counts[sizes[j]]
+		}
+		return sizes[i] < sizes[j]
+	})
+	if n < len(sizes) {
+		sizes = sizes[:n]
+	}
+	return sizes
+}
+
+// Site reports the mapped site key for an allocation observed in the
+// foreign execution and whether that site is an admitted short-lived
+// predictor. It gives allocators that segregate per site (Hanson-style)
+// a stable identity; unlike PredictShort it does not touch the site-usage
+// accounting.
+func (m *Mapper) Site(raw callchain.ChainID, size int64) (SiteKey, bool) {
+	key := SiteKey{
+		Chain: m.siteChainFrom(raw),
+		Size:  m.p.Config.roundSize(size),
+	}
+	_, ok := m.p.keys[key]
+	return key, ok
+}

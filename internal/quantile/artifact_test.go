@@ -1,0 +1,59 @@
+package quantile
+
+import (
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+// TestP2AccurateOnGhostLikeMixture probes the measurement artifact the
+// paper footnotes under its own Table 3: "actual measurements show that
+// the true 75% quantile for GHOST should be less than 32,000, but the
+// quantile histogram approximates this value as 393,531" — a ~12x
+// overestimate on a heavy-tailed lifetime distribution.
+//
+// Interestingly, a single well-conditioned 4-cell P² histogram does NOT
+// reproduce that failure: on a GHOST-like mixture (97% of mass below ~31K,
+// 3% Pareto tail to 90M) its 75% marker tracks the exact quantile within a
+// fraction of a percent. This test pins that down, which localizes the
+// paper's artifact to something other than the core P² update — most
+// plausibly the aggregation of many per-site histogram approximations into
+// a program-level quantile (their pipeline), or an implementation detail.
+// Our Table 3 uses exact byte-weighted quantiles, so the artifact does not
+// arise at all; see EXPERIMENTS.md.
+func TestP2AccurateOnGhostLikeMixture(t *testing.T) {
+	r := xrand.New(1993)
+	h, err := NewHistogram(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := &Exact{}
+	for i := 0; i < 200000; i++ {
+		var v float64
+		if r.Bool(0.97) {
+			v = r.Exp(9000)
+			if v > 31000 {
+				v = 31000
+			}
+		} else {
+			v = r.Pareto(1.1, 2e6)
+			if v > 9e7 {
+				v = 9e7
+			}
+		}
+		h.Add(v)
+		ex.Add(v)
+	}
+	exact75 := ex.Quantile(0.75)
+	approx75 := h.Quantile(0.75)
+	if exact75 >= 32000 {
+		t.Fatalf("test distribution wrong: exact 75%% = %.0f, want < 32000", exact75)
+	}
+	// Our P2 stays within 20% of exact where the paper's pipeline was
+	// off by 12x.
+	if approx75 > exact75*1.2 || approx75 < exact75/1.2 {
+		t.Fatalf("P2 75%% = %.0f vs exact %.0f: drifted beyond 20%%", approx75, exact75)
+	}
+	t.Logf("exact 75%% = %.0f, P2 75%% = %.0f (paper's pipeline reported 393531 vs <32000 here)",
+		exact75, approx75)
+}

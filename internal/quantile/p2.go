@@ -1,0 +1,315 @@
+// Package quantile implements the P-square (P²) algorithm of Jain and
+// Chlamtac (CACM 1985) for dynamic estimation of quantiles and quantile
+// histograms without storing observations.
+//
+// The paper under reproduction (Barrett & Zorn, PLDI 1993, §4.1) uses this
+// algorithm to summarize the lifetime distribution of every allocation site
+// with constant memory: "We use Jain's algorithm because it allows us to
+// compute the quantiles with minimal storage requirements."
+//
+// Two front ends are provided:
+//
+//   - Estimator tracks a single p-quantile with five markers.
+//   - Histogram tracks a B-cell equiprobable histogram (B+1 markers), which
+//     is what the lifetime quantile histograms in the paper use.
+//
+// An exact, sort-based reference implementation (Exact) is included for
+// testing and for small data sets where exactness matters.
+package quantile
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// markers is the shared P² machinery: a set of markers whose heights
+// estimate the quantiles at fixed cumulative probabilities.
+type markers struct {
+	probs []float64 // desired cumulative probabilities, ascending, probs[0]=0, probs[last]=1
+	q     []float64 // marker heights (quantile estimates)
+	n     []float64 // actual marker positions (1-based counts)
+	np    []float64 // desired marker positions
+	count int       // observations seen so far
+	init  []float64 // buffer for the first len(probs) observations
+}
+
+func newMarkers(probs []float64) *markers {
+	m := &markers{
+		probs: probs,
+		q:     make([]float64, len(probs)),
+		n:     make([]float64, len(probs)),
+		np:    make([]float64, len(probs)),
+		init:  make([]float64, 0, len(probs)),
+	}
+	return m
+}
+
+// add incorporates one observation.
+func (m *markers) add(x float64) {
+	k := len(m.probs)
+	m.count++
+	if len(m.init) < k {
+		m.init = append(m.init, x)
+		if len(m.init) == k {
+			sort.Float64s(m.init)
+			copy(m.q, m.init)
+			for i := range m.n {
+				m.n[i] = float64(i + 1)
+			}
+			m.updateDesired()
+		}
+		return
+	}
+
+	// Find the cell containing x and clamp extremes.
+	var cell int
+	switch {
+	case x < m.q[0]:
+		m.q[0] = x
+		cell = 0
+	case x >= m.q[k-1]:
+		if x > m.q[k-1] {
+			m.q[k-1] = x
+		}
+		cell = k - 2
+	default:
+		// q[cell] <= x < q[cell+1]
+		cell = sort.SearchFloat64s(m.q, x)
+		if cell > 0 && m.q[cell] != x {
+			cell--
+		}
+		if cell >= k-1 {
+			cell = k - 2
+		}
+		// SearchFloat64s finds the leftmost insertion point; with
+		// duplicate marker heights we may land one high. Normalize so
+		// that q[cell] <= x.
+		for cell > 0 && m.q[cell] > x {
+			cell--
+		}
+	}
+
+	// Increment positions of markers above the cell.
+	for i := cell + 1; i < k; i++ {
+		m.n[i]++
+	}
+	m.updateDesired()
+
+	// Adjust interior markers toward their desired positions.
+	for i := 1; i < k-1; i++ {
+		d := m.np[i] - m.n[i]
+		if (d >= 1 && m.n[i+1]-m.n[i] > 1) || (d <= -1 && m.n[i-1]-m.n[i] < -1) {
+			sign := 1.0
+			if d < 0 {
+				sign = -1.0
+			}
+			qNew := m.parabolic(i, sign)
+			if m.q[i-1] < qNew && qNew < m.q[i+1] {
+				m.q[i] = qNew
+			} else {
+				m.q[i] = m.linear(i, sign)
+			}
+			m.n[i] += sign
+		}
+	}
+}
+
+func (m *markers) updateDesired() {
+	nf := float64(m.count)
+	for i, p := range m.probs {
+		m.np[i] = 1 + p*(nf-1)
+	}
+}
+
+// parabolic applies the piecewise-parabolic (P²) prediction formula.
+func (m *markers) parabolic(i int, d float64) float64 {
+	num1 := m.n[i] - m.n[i-1] + d
+	num2 := m.n[i+1] - m.n[i] - d
+	den := m.n[i+1] - m.n[i-1]
+	t1 := (m.q[i+1] - m.q[i]) / (m.n[i+1] - m.n[i])
+	t2 := (m.q[i] - m.q[i-1]) / (m.n[i] - m.n[i-1])
+	return m.q[i] + (d/den)*(num1*t1+num2*t2)
+}
+
+// linear falls back to linear interpolation toward the neighbor in
+// direction d when the parabolic estimate would be non-monotonic.
+func (m *markers) linear(i int, d float64) float64 {
+	j := i + int(d)
+	return m.q[i] + d*(m.q[j]-m.q[i])/(m.n[j]-m.n[i])
+}
+
+// quantileAt reports the current estimate for probability p by
+// interpolating between markers. Requires at least one observation.
+func (m *markers) quantileAt(p float64) float64 {
+	k := len(m.probs)
+	if m.count == 0 {
+		return math.NaN()
+	}
+	if len(m.init) < k {
+		// Fewer observations than markers: answer exactly.
+		tmp := append([]float64(nil), m.init...)
+		sort.Float64s(tmp)
+		return exactSorted(tmp, p)
+	}
+	if p <= m.probs[0] {
+		return m.q[0]
+	}
+	if p >= m.probs[k-1] {
+		return m.q[k-1]
+	}
+	i := sort.SearchFloat64s(m.probs, p)
+	if m.probs[i] == p {
+		return m.q[i]
+	}
+	// Interpolate between markers i-1 and i.
+	lo, hi := m.probs[i-1], m.probs[i]
+	frac := (p - lo) / (hi - lo)
+	return m.q[i-1] + frac*(m.q[i]-m.q[i-1])
+}
+
+// Estimator estimates a single p-quantile online with five markers.
+type Estimator struct {
+	p float64
+	m *markers
+}
+
+// NewEstimator returns an estimator for the p-quantile, 0 < p < 1.
+func NewEstimator(p float64) (*Estimator, error) {
+	if !(p > 0 && p < 1) {
+		return nil, fmt.Errorf("quantile: p = %v outside (0, 1)", p)
+	}
+	return &Estimator{
+		p: p,
+		m: newMarkers([]float64{0, p / 2, p, (1 + p) / 2, 1}),
+	}, nil
+}
+
+// Add incorporates one observation.
+func (e *Estimator) Add(x float64) { e.m.add(x) }
+
+// Count reports the number of observations added.
+func (e *Estimator) Count() int { return e.m.count }
+
+// Quantile returns the current estimate of the p-quantile. It returns NaN
+// before any observation is added.
+func (e *Estimator) Quantile() float64 { return e.m.quantileAt(e.p) }
+
+// Histogram is an equiprobable B-cell P² quantile histogram: the extended
+// form of the algorithm described in §III of Jain & Chlamtac, and the form
+// the paper attaches to every allocation site.
+type Histogram struct {
+	cells int
+	m     *markers
+}
+
+// NewHistogram returns a quantile histogram with the given number of
+// equiprobable cells (at least 2).
+func NewHistogram(cells int) (*Histogram, error) {
+	if cells < 2 {
+		return nil, fmt.Errorf("quantile: histogram needs >= 2 cells, got %d", cells)
+	}
+	probs := make([]float64, cells+1)
+	for i := range probs {
+		probs[i] = float64(i) / float64(cells)
+	}
+	return &Histogram{cells: cells, m: newMarkers(probs)}, nil
+}
+
+// Add incorporates one observation.
+func (h *Histogram) Add(x float64) { h.m.add(x) }
+
+// Count reports the number of observations added.
+func (h *Histogram) Count() int { return h.m.count }
+
+// Cells reports the number of equiprobable cells.
+func (h *Histogram) Cells() int { return h.cells }
+
+// Min returns the smallest observation seen, or NaN if empty.
+func (h *Histogram) Min() float64 { return h.m.quantileAt(0) }
+
+// Max returns the largest observation seen, or NaN if empty.
+func (h *Histogram) Max() float64 { return h.m.quantileAt(1) }
+
+// Quantile returns the estimated p-quantile for p in [0, 1].
+// It returns NaN before any observation is added.
+func (h *Histogram) Quantile(p float64) float64 {
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	return h.m.quantileAt(p)
+}
+
+// Markers returns copies of the marker probabilities and heights, useful
+// for serialization and display.
+func (h *Histogram) Markers() (probs, heights []float64) {
+	probs = append([]float64(nil), h.m.probs...)
+	if len(h.m.init) < len(h.m.probs) {
+		// Not yet initialized: synthesize from exact values.
+		heights = make([]float64, len(probs))
+		tmp := append([]float64(nil), h.m.init...)
+		sort.Float64s(tmp)
+		for i, p := range probs {
+			heights[i] = exactSorted(tmp, p)
+		}
+		return probs, heights
+	}
+	heights = append([]float64(nil), h.m.q...)
+	return probs, heights
+}
+
+// Exact is a sort-based exact quantile computation, used as the test oracle
+// for the P² estimators and wherever the data set is small.
+type Exact struct {
+	xs     []float64
+	sorted bool
+}
+
+// Add incorporates one observation.
+func (e *Exact) Add(x float64) {
+	e.xs = append(e.xs, x)
+	e.sorted = false
+}
+
+// Count reports the number of observations added.
+func (e *Exact) Count() int { return len(e.xs) }
+
+// Quantile returns the exact p-quantile with linear interpolation.
+// It returns NaN when empty.
+func (e *Exact) Quantile(p float64) float64 {
+	if !e.sorted {
+		sort.Float64s(e.xs)
+		e.sorted = true
+	}
+	return exactSorted(e.xs, p)
+}
+
+// exactSorted returns the p-quantile of a sorted slice with linear
+// interpolation between order statistics, NaN when empty.
+func exactSorted(sorted []float64, p float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return math.NaN()
+	}
+	if n == 1 {
+		return sorted[0]
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[n-1]
+	}
+	pos := p * float64(n-1)
+	i := int(pos)
+	frac := pos - float64(i)
+	if i+1 >= n {
+		return sorted[n-1]
+	}
+	// (1-frac)*a + frac*b avoids overflow when a and b have opposite
+	// signs and extreme magnitudes.
+	return (1-frac)*sorted[i] + frac*sorted[i+1]
+}

@@ -1,0 +1,335 @@
+package quantile
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func TestEstimatorRejectsBadP(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.5, 1.5, math.NaN()} {
+		if _, err := NewEstimator(p); err == nil {
+			t.Errorf("NewEstimator(%v) accepted invalid p", p)
+		}
+	}
+}
+
+func TestEstimatorEmptyIsNaN(t *testing.T) {
+	e, err := NewEstimator(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(e.Quantile()) {
+		t.Fatalf("empty estimator quantile = %v, want NaN", e.Quantile())
+	}
+}
+
+func TestEstimatorExactForFewObservations(t *testing.T) {
+	e, _ := NewEstimator(0.5)
+	e.Add(10)
+	e.Add(30)
+	e.Add(20)
+	// With fewer observations than markers the estimate must be exact.
+	if got := e.Quantile(); got != 20 {
+		t.Fatalf("median of {10,20,30} = %v, want 20", got)
+	}
+}
+
+// paperExample is the worked example from Jain & Chlamtac's paper: 20
+// observations tracking the median. Their final estimate is ~4.44.
+func TestEstimatorPaperExample(t *testing.T) {
+	obs := []float64{
+		0.02, 0.15, 0.74, 3.39, 0.83, 22.37, 10.15, 15.43, 38.62, 15.92,
+		34.60, 10.28, 1.47, 0.40, 0.05, 11.39, 0.27, 0.42, 0.09, 11.37,
+	}
+	e, _ := NewEstimator(0.5)
+	for _, x := range obs {
+		e.Add(x)
+	}
+	got := e.Quantile()
+	if math.Abs(got-4.44) > 0.02 {
+		t.Fatalf("P2 median on Jain-Chlamtac example = %.4f, want ~4.44", got)
+	}
+}
+
+func TestEstimatorUniformAccuracy(t *testing.T) {
+	r := xrand.New(101)
+	for _, p := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.99} {
+		e, _ := NewEstimator(p)
+		ex := &Exact{}
+		for i := 0; i < 50000; i++ {
+			x := r.Float64() * 1000
+			e.Add(x)
+			ex.Add(x)
+		}
+		got, want := e.Quantile(), ex.Quantile(p)
+		if math.Abs(got-want) > 15 { // 1.5% of the range
+			t.Errorf("p=%v: P2=%.2f exact=%.2f", p, got, want)
+		}
+	}
+}
+
+func TestEstimatorExponentialAccuracy(t *testing.T) {
+	r := xrand.New(103)
+	e, _ := NewEstimator(0.5)
+	for i := 0; i < 100000; i++ {
+		e.Add(r.Exp(100))
+	}
+	// True median of Exp(mean=100) is 100*ln2 ~ 69.3.
+	got := e.Quantile()
+	if math.Abs(got-69.3) > 5 {
+		t.Fatalf("exponential median: got %.2f, want ~69.3", got)
+	}
+}
+
+func TestHistogramRejectsTooFewCells(t *testing.T) {
+	for _, c := range []int{-1, 0, 1} {
+		if _, err := NewHistogram(c); err == nil {
+			t.Errorf("NewHistogram(%d) accepted invalid cell count", c)
+		}
+	}
+}
+
+func TestHistogramMinMaxExact(t *testing.T) {
+	h, _ := NewHistogram(4)
+	r := xrand.New(107)
+	min, max := math.Inf(1), math.Inf(-1)
+	for i := 0; i < 10000; i++ {
+		x := r.Float64()*500 + 3
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+		h.Add(x)
+	}
+	// Extremes are tracked exactly by the P2 algorithm.
+	if h.Min() != min {
+		t.Errorf("Min: got %v, want %v", h.Min(), min)
+	}
+	if h.Max() != max {
+		t.Errorf("Max: got %v, want %v", h.Max(), max)
+	}
+}
+
+func TestHistogramQuartilesUniform(t *testing.T) {
+	h, _ := NewHistogram(8)
+	ex := &Exact{}
+	r := xrand.New(109)
+	for i := 0; i < 50000; i++ {
+		x := r.Float64() * 1000
+		h.Add(x)
+		ex.Add(x)
+	}
+	for _, p := range []float64{0.25, 0.5, 0.75} {
+		got, want := h.Quantile(p), ex.Quantile(p)
+		if math.Abs(got-want) > 15 {
+			t.Errorf("p=%v: histogram=%.2f exact=%.2f", p, got, want)
+		}
+	}
+}
+
+func TestHistogramSkewedDistribution(t *testing.T) {
+	// Object lifetimes are heavily skewed; make sure the histogram stays
+	// ordered and roughly right on a Pareto distribution.
+	h, _ := NewHistogram(4)
+	ex := &Exact{}
+	r := xrand.New(113)
+	for i := 0; i < 50000; i++ {
+		x := r.Pareto(1.2, 16)
+		h.Add(x)
+		ex.Add(x)
+	}
+	probs, heights := h.Markers()
+	for i := 1; i < len(heights); i++ {
+		if heights[i] < heights[i-1] {
+			t.Fatalf("marker heights not monotone at %d: %v", i, heights)
+		}
+	}
+	if len(probs) != 5 {
+		t.Fatalf("4-cell histogram has %d markers, want 5", len(probs))
+	}
+	// The median should be within a factor of 1.3 of exact even on a
+	// heavy-tailed input.
+	got, want := h.Quantile(0.5), ex.Quantile(0.5)
+	if got < want/1.3 || got > want*1.3 {
+		t.Errorf("Pareto median: histogram=%.2f exact=%.2f", got, want)
+	}
+}
+
+func TestHistogramCountAndCells(t *testing.T) {
+	h, _ := NewHistogram(4)
+	for i := 0; i < 17; i++ {
+		h.Add(float64(i))
+	}
+	if h.Count() != 17 {
+		t.Fatalf("Count = %d, want 17", h.Count())
+	}
+	if h.Cells() != 4 {
+		t.Fatalf("Cells = %d, want 4", h.Cells())
+	}
+}
+
+func TestHistogramFewObservationsExact(t *testing.T) {
+	h, _ := NewHistogram(4)
+	h.Add(5)
+	h.Add(1)
+	h.Add(9)
+	if got := h.Quantile(0.5); got != 5 {
+		t.Fatalf("median of {1,5,9} = %v, want 5", got)
+	}
+	if h.Min() != 1 || h.Max() != 9 {
+		t.Fatalf("min/max = %v/%v, want 1/9", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramConstantInput(t *testing.T) {
+	h, _ := NewHistogram(4)
+	for i := 0; i < 1000; i++ {
+		h.Add(42)
+	}
+	for _, p := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		if got := h.Quantile(p); got != 42 {
+			t.Fatalf("constant input: Quantile(%v) = %v, want 42", p, got)
+		}
+	}
+}
+
+func TestHistogramTwoValues(t *testing.T) {
+	h, _ := NewHistogram(4)
+	for i := 0; i < 500; i++ {
+		h.Add(10)
+		h.Add(20)
+	}
+	if h.Min() != 10 || h.Max() != 20 {
+		t.Fatalf("min/max = %v/%v", h.Min(), h.Max())
+	}
+	med := h.Quantile(0.5)
+	if med < 10 || med > 20 {
+		t.Fatalf("median of bimodal {10,20} = %v, out of range", med)
+	}
+}
+
+func TestExactQuantiles(t *testing.T) {
+	e := &Exact{}
+	for _, v := range []float64{4, 1, 3, 2} {
+		e.Add(v)
+	}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {1, 4}, {0.5, 2.5}, {0.25, 1.75}, {1.0 / 3.0, 2},
+	}
+	for _, c := range cases {
+		if got := e.Quantile(c.p); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Exact.Quantile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestExactEmptyNaN(t *testing.T) {
+	e := &Exact{}
+	if !math.IsNaN(e.Quantile(0.5)) {
+		t.Fatal("empty Exact quantile should be NaN")
+	}
+}
+
+func TestExactAddAfterQuery(t *testing.T) {
+	e := &Exact{}
+	e.Add(1)
+	_ = e.Quantile(0.5)
+	e.Add(0) // must re-sort
+	if got := e.Quantile(0); got != 0 {
+		t.Fatalf("min after post-query add = %v, want 0", got)
+	}
+}
+
+// Property: P2 marker heights always bracket and stay ordered, and the
+// estimated quantile lies within [min, max] of the observations.
+func TestQuickHistogramInvariants(t *testing.T) {
+	f := func(seed uint64, raw []float64) bool {
+		h, _ := NewHistogram(4)
+		min, max := math.Inf(1), math.Inf(-1)
+		n := 0
+		for _, x := range raw {
+			// Lifetimes are bytes-allocated counts; restrict the
+			// property to the magnitudes the estimator is used on.
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e15 {
+				continue
+			}
+			h.Add(x)
+			n++
+			if x < min {
+				min = x
+			}
+			if x > max {
+				max = x
+			}
+		}
+		if n == 0 {
+			return true
+		}
+		for _, p := range []float64{0, 0.25, 0.5, 0.75, 1} {
+			q := h.Quantile(p)
+			if q < min-1e-9 || q > max+1e-9 {
+				return false
+			}
+		}
+		_, heights := h.Markers()
+		for i := 1; i < len(heights); i++ {
+			if heights[i] < heights[i-1]-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: on sorted-free random input, the P2 median converges to within
+// a loose band of the exact median for moderately sized samples.
+func TestQuickMedianReasonable(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		e, _ := NewEstimator(0.5)
+		ex := &Exact{}
+		for i := 0; i < 2000; i++ {
+			x := r.Float64() * 100
+			e.Add(x)
+			ex.Add(x)
+		}
+		return math.Abs(e.Quantile()-ex.Quantile(0.5)) < 10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkHistogramAdd(b *testing.B) {
+	h, _ := NewHistogram(4)
+	r := xrand.New(1)
+	xs := make([]float64, 1024)
+	for i := range xs {
+		xs[i] = r.Exp(1000)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Add(xs[i&1023])
+	}
+}
+
+func BenchmarkEstimatorAdd(b *testing.B) {
+	e, _ := NewEstimator(0.9)
+	r := xrand.New(1)
+	xs := make([]float64, 1024)
+	for i := range xs {
+		xs[i] = r.Exp(1000)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Add(xs[i&1023])
+	}
+}

@@ -1,0 +1,119 @@
+package synth
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// phaseModel builds a model with an early-phase site and a late-phase
+// site around an always-on churn site.
+func phaseModel() *Model {
+	return &Model{
+		Name:       "phased",
+		TotalBytes: 1_000_000,
+		Sites: []SiteSpec{
+			{
+				Chain:    []string{"main", "early", "alloc"},
+				Sizes:    Fixed(64),
+				Life:     Immortal(),
+				ByteFrac: 5,
+				PhaseEnd: 0.2,
+			},
+			{
+				Chain:      []string{"main", "late", "alloc"},
+				Sizes:      Fixed(64),
+				Life:       ExpLife(500, 0),
+				ByteFrac:   5,
+				PhaseStart: 0.8,
+				PhaseEnd:   1.0,
+			},
+			{
+				Chain:    []string{"main", "churn", "alloc"},
+				Sizes:    Fixed(32),
+				Life:     ExpLife(200, 0),
+				ByteFrac: 90,
+			},
+		},
+	}
+}
+
+func TestPhaseWindowsRespected(t *testing.T) {
+	m := phaseModel()
+	tr, err := m.Generate(Config{Input: Train, Seed: 3, Scale: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := trace.ComputeStats(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := st.TotalBytes
+
+	earlyChain := tr.Table.InternNames("main", "early", "alloc")
+	lateChain := tr.Table.InternNames("main", "late", "alloc")
+	var pos int64
+	var earlyBytes, lateBytes int64
+	for _, ev := range tr.Events {
+		if ev.Kind != trace.KindAlloc {
+			continue
+		}
+		switch ev.Chain {
+		case earlyChain:
+			if pos > total/4 {
+				t.Fatalf("early-phase allocation at byte %d of %d", pos, total)
+			}
+			earlyBytes += ev.Size
+		case lateChain:
+			if pos < total*3/4 {
+				t.Fatalf("late-phase allocation at byte %d of %d", pos, total)
+			}
+			lateBytes += ev.Size
+		}
+		pos += ev.Size
+	}
+	// Each phased site still delivers its full byte share (~5%).
+	for name, got := range map[string]int64{"early": earlyBytes, "late": lateBytes} {
+		frac := float64(got) / float64(total)
+		if frac < 0.03 || frac > 0.07 {
+			t.Errorf("%s site delivered %.1f%% of bytes, want ~5%%", name, 100*frac)
+		}
+	}
+}
+
+func TestPhaseValidation(t *testing.T) {
+	m := &Model{
+		Name:       "bad",
+		TotalBytes: 1000,
+		Sites: []SiteSpec{{
+			Chain:    []string{"main", "x"},
+			Sizes:    Fixed(8),
+			Life:     ExpLife(100, 0),
+			ByteFrac: 1,
+			PhaseEnd: 1.5, // out of range
+		}},
+	}
+	if _, err := m.Generate(Config{Input: Train, Seed: 1, Scale: 1}); err == nil {
+		t.Fatal("phase window beyond 1.0 accepted")
+	}
+}
+
+func TestPhaseDeterminism(t *testing.T) {
+	m := phaseModel()
+	a, err := m.Generate(Config{Input: Train, Seed: 9, Scale: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Generate(Config{Input: Train, Seed: 9, Scale: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Events) != len(b.Events) {
+		t.Fatal("phased generation not deterministic in length")
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			t.Fatalf("phased generation diverges at event %d", i)
+		}
+	}
+}

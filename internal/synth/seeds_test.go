@@ -1,0 +1,62 @@
+package synth_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/profile"
+	"repro/internal/synth"
+	"repro/internal/trace"
+)
+
+// TestSeedRobustness guards against the models being calibrated to one
+// lucky RNG stream: the headline Table 4 percentages must agree across
+// unrelated seeds to within a couple of points.
+func TestSeedRobustness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("seed sweep skipped in -short mode")
+	}
+	for _, m := range synth.All() {
+		m := m
+		t.Run(m.Name, func(t *testing.T) {
+			var selfs, trues []float64
+			for _, seed := range []uint64{11, 222222, 9999999999} {
+				train, err := m.Generate(synth.Config{Input: synth.Train, Seed: seed, Scale: 0.05})
+				if err != nil {
+					t.Fatal(err)
+				}
+				test, err := m.Generate(synth.Config{Input: synth.Test, Seed: seed + 1, Scale: 0.05})
+				if err != nil {
+					t.Fatal(err)
+				}
+				trainObjs, err := trace.Annotate(train)
+				if err != nil {
+					t.Fatal(err)
+				}
+				testObjs, err := trace.Annotate(test)
+				if err != nil {
+					t.Fatal(err)
+				}
+				pred := profile.TrainObjects(train.Table, trainObjs, profile.DefaultConfig()).Predictor()
+				selfs = append(selfs,
+					profile.EvaluateObjects(train.Table, trainObjs, pred).PredictedShortPct())
+				trues = append(trues,
+					profile.EvaluateObjects(test.Table, testObjs, pred).PredictedShortPct())
+			}
+			spread := func(xs []float64) float64 {
+				lo, hi := xs[0], xs[0]
+				for _, x := range xs {
+					lo = math.Min(lo, x)
+					hi = math.Max(hi, x)
+				}
+				return hi - lo
+			}
+			if s := spread(selfs); s > 3 {
+				t.Errorf("self prediction varies %.1fpp across seeds: %v", s, selfs)
+			}
+			if s := spread(trues); s > 4 {
+				t.Errorf("true prediction varies %.1fpp across seeds: %v", s, trues)
+			}
+		})
+	}
+}

@@ -1,0 +1,48 @@
+package table
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRender(t *testing.T) {
+	tb := New("Table X", "Program", "Bytes", "Pct")
+	tb.Row("cfrac", 65000000, 79.0)
+	tb.Row("gawk", 167000000, 99.3)
+	out := tb.String()
+	if !strings.Contains(out, "Table X") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "cfrac") || !strings.Contains(out, "99.3") {
+		t.Errorf("cells missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	// Columns align: every data line has the same width as the header.
+	if len(lines[3]) != len(lines[4]) {
+		t.Errorf("row widths differ:\n%s", out)
+	}
+}
+
+func TestIsNumeric(t *testing.T) {
+	for _, s := range []string{"123", "-4.5", "99.3%", "208K", "", "-"} {
+		if !isNumeric(s) {
+			t.Errorf("isNumeric(%q) = false", s)
+		}
+	}
+	for _, s := range []string{"cfrac", "1a", "x%"} {
+		if isNumeric(s) {
+			t.Errorf("isNumeric(%q) = true", s)
+		}
+	}
+}
+
+func TestRowStrings(t *testing.T) {
+	tb := New("", "A", "B")
+	tb.RowStrings("x", "y")
+	if !strings.Contains(tb.String(), "x") {
+		t.Fatal("RowStrings cell missing")
+	}
+}

@@ -1,0 +1,131 @@
+package trace
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/callchain"
+)
+
+// Merge interleaves several traces into one, ordering events by each
+// shard's local byte clock (cumulative bytes allocated). This supports
+// sharded instrumentation of concurrent Go programs: each goroutine
+// records into its own apptrace.Recorder, and the shards merge into a
+// single trace whose global time remains bytes-allocated. Object ids are
+// re-based so they stay unique; chains are re-interned by function name
+// into a fresh table.
+//
+// The interleaving is a modeling choice — concurrent shards have no true
+// global allocation order — but byte-clock merging preserves each shard's
+// internal lifetimes up to the allocation volume the other shards
+// contribute in between, which is the same notion of time the paper uses.
+func Merge(traces []*Trace) (*Trace, error) {
+	if len(traces) == 0 {
+		return nil, fmt.Errorf("trace: Merge needs at least one trace")
+	}
+	out := &Trace{
+		Program: traces[0].Program,
+		Input:   traces[0].Input,
+		Table:   callchain.NewTable(),
+	}
+
+	// Per-shard state: position, byte clock, id rebase, chain memo.
+	shards := make([]*mergeShard, len(traces))
+	var base ObjectID
+	total := 0
+	for i, tr := range traces {
+		out.FunctionCalls += tr.FunctionCalls
+		out.NonHeapRefs += tr.NonHeapRefs
+		var maxID ObjectID
+		for _, ev := range tr.Events {
+			if ev.Kind == KindAlloc && ev.Obj > maxID {
+				maxID = ev.Obj
+			}
+		}
+		shards[i] = &mergeShard{
+			tr:   tr,
+			base: base,
+			memo: make(map[callchain.ChainID]callchain.ChainID),
+		}
+		base += maxID + 1
+		total += len(tr.Events)
+	}
+
+	// Min-heap on (clock, shard index) for a deterministic interleave.
+	h := &shardHeap{}
+	for i, s := range shards {
+		if len(s.tr.Events) > 0 {
+			heap.Push(h, shardRef{s: s, idx: i})
+		}
+	}
+	out.Events = make([]Event, 0, total)
+	for h.Len() > 0 {
+		ref := heap.Pop(h).(shardRef)
+		s := ref.s
+		ev := s.tr.Events[s.pos]
+		s.pos++
+		switch ev.Kind {
+		case KindAlloc:
+			mapped, ok := s.memo[ev.Chain]
+			if !ok {
+				fs := s.tr.Table.Funcs(ev.Chain)
+				names := make([]string, len(fs))
+				for j, f := range fs {
+					names[j] = s.tr.Table.FuncName(f)
+				}
+				mapped = out.Table.InternNames(names...)
+				s.memo[ev.Chain] = mapped
+			}
+			out.Events = append(out.Events, Event{
+				Kind:  KindAlloc,
+				Obj:   ev.Obj + s.base,
+				Size:  ev.Size,
+				Chain: mapped,
+				Refs:  ev.Refs,
+			})
+			s.clock += ev.Size
+		case KindFree:
+			out.Events = append(out.Events, Event{Kind: KindFree, Obj: ev.Obj + s.base})
+		default:
+			return nil, fmt.Errorf("trace: Merge: shard %d event %d has bad kind %d",
+				ref.idx, s.pos-1, ev.Kind)
+		}
+		if s.pos < len(s.tr.Events) {
+			heap.Push(h, ref)
+		}
+	}
+	return out, nil
+}
+
+type shardRef struct {
+	s   *mergeShard
+	idx int
+}
+
+// mergeShard is one input trace's cursor during Merge.
+type mergeShard struct {
+	tr    *Trace
+	pos   int
+	clock int64
+	base  ObjectID
+	memo  map[callchain.ChainID]callchain.ChainID
+}
+
+type shardHeap []shardRef
+
+func (h shardHeap) Len() int { return len(h) }
+func (h shardHeap) Less(i, j int) bool {
+	if h[i].s.clock != h[j].s.clock {
+		return h[i].s.clock < h[j].s.clock
+	}
+	return h[i].idx < h[j].idx
+}
+func (h shardHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *shardHeap) Push(x interface{}) { *h = append(*h, x.(shardRef)) }
+func (h *shardHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}

@@ -1,0 +1,140 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/callchain"
+)
+
+func shardTrace(t *testing.T, program string, sizes []int64, fn string) *Trace {
+	t.Helper()
+	tb := callchain.NewTable()
+	tr := &Trace{Program: program, Input: "train", Table: tb, FunctionCalls: int64(len(sizes))}
+	c := tb.InternNames("main", fn)
+	for i, sz := range sizes {
+		tr.Events = append(tr.Events,
+			Event{Kind: KindAlloc, Obj: ObjectID(i), Size: sz, Chain: c},
+			Event{Kind: KindFree, Obj: ObjectID(i)})
+	}
+	return tr
+}
+
+func TestMergeInterleavesByByteClock(t *testing.T) {
+	// Shard A allocates 100-byte objects, shard B 10-byte objects: B's
+	// events should dominate the early merged stream 10:1 in counts.
+	a := shardTrace(t, "p", []int64{100, 100, 100}, "big")
+	b := shardTrace(t, "p", []int64{10, 10, 10, 10, 10, 10, 10, 10, 10, 10}, "small")
+	m, err := Merge([]*Trace{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(m); err != nil {
+		t.Fatal(err)
+	}
+	st, err := ComputeStats(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TotalObjects != 13 || st.TotalBytes != 400 {
+		t.Fatalf("merged totals %d/%d", st.TotalObjects, st.TotalBytes)
+	}
+	if m.FunctionCalls != 13 {
+		t.Fatalf("function calls %d", m.FunctionCalls)
+	}
+	// After A's first alloc (clock 100), all of B's 10-byte allocs with
+	// clock < 100 come before A's second: find positions.
+	var firstBig2 int = -1
+	bigSeen := 0
+	smallBefore := 0
+	for i, ev := range m.Events {
+		if ev.Kind != KindAlloc {
+			continue
+		}
+		if ev.Size == 100 {
+			bigSeen++
+			if bigSeen == 2 {
+				firstBig2 = i
+				break
+			}
+		} else if bigSeen == 1 {
+			smallBefore++
+		}
+	}
+	if firstBig2 < 0 || smallBefore < 9 {
+		t.Fatalf("byte-clock interleave wrong: %d small allocs between bigs", smallBefore)
+	}
+}
+
+func TestMergeRebasesObjectIDs(t *testing.T) {
+	a := shardTrace(t, "p", []int64{8, 8}, "fa")
+	b := shardTrace(t, "p", []int64{8, 8}, "fb")
+	m, err := Merge([]*Trace{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[ObjectID]bool{}
+	for _, ev := range m.Events {
+		if ev.Kind == KindAlloc {
+			if seen[ev.Obj] {
+				t.Fatalf("duplicate object id %d after merge", ev.Obj)
+			}
+			seen[ev.Obj] = true
+		}
+	}
+	if len(seen) != 4 {
+		t.Fatalf("%d objects after merge", len(seen))
+	}
+}
+
+func TestMergeChainsSurvive(t *testing.T) {
+	a := shardTrace(t, "p", []int64{8}, "fa")
+	b := shardTrace(t, "p", []int64{8}, "fb")
+	m, err := Merge([]*Trace{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, ev := range m.Events {
+		if ev.Kind == KindAlloc {
+			names[m.Table.String(ev.Chain)] = true
+		}
+	}
+	if !names["main>fa"] || !names["main>fb"] {
+		t.Fatalf("chains lost in merge: %v", names)
+	}
+}
+
+func TestMergeSingleAndEmpty(t *testing.T) {
+	if _, err := Merge(nil); err == nil {
+		t.Fatal("empty merge accepted")
+	}
+	a := shardTrace(t, "p", []int64{8}, "f")
+	m, err := Merge([]*Trace{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Events) != len(a.Events) {
+		t.Fatal("single-shard merge altered events")
+	}
+}
+
+func TestMergeDeterministic(t *testing.T) {
+	a := shardTrace(t, "p", []int64{10, 20, 30}, "fa")
+	b := shardTrace(t, "p", []int64{15, 25}, "fb")
+	m1, err := Merge([]*Trace{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Merge([]*Trace{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m1.Events) != len(m2.Events) {
+		t.Fatal("merge not deterministic")
+	}
+	for i := range m1.Events {
+		if m1.Events[i] != m2.Events[i] {
+			t.Fatalf("merge diverges at %d", i)
+		}
+	}
+}
