@@ -276,6 +276,44 @@ func BenchmarkAblationRoverPolicy(b *testing.B) {
 	}
 }
 
+// BenchmarkRunSim measures the replay loop itself with no collector
+// attached — the baseline the observability layer must not regress (the
+// nil path is one predictable branch per event).
+func BenchmarkRunSim(b *testing.B) {
+	a := artifacts(b, "gawk")
+	b.Run("gawk/arena", func(b *testing.B) {
+		var res core.SimResult
+		var err error
+		for i := 0; i < b.N; i++ {
+			res, err = core.RunSim(a.TestTrace, heapsim.NewArena(), a.TrainPredictor)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.SetBytes(res.TotalBytes)
+		b.ReportMetric(float64(b.N)*float64(len(a.TestTrace.Events))/b.Elapsed().Seconds()/1e6, "Mevents/s")
+	})
+	b.Run("gawk/firstfit", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.RunSim(a.TestTrace, heapsim.NewFirstFit(), nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkRunSimObserved is the same replay with a collector attached,
+// for eyeballing the instrumentation overhead against BenchmarkRunSim.
+func BenchmarkRunSimObserved(b *testing.B) {
+	a := artifacts(b, "gawk")
+	for i := 0; i < b.N; i++ {
+		col := lifetime.NewObsCollector(lifetime.ObsOptions{Label: "gawk/arena"})
+		if _, err := core.RunSim(a.TestTrace, heapsim.NewArena(), a.TrainPredictor, col); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkGenerate measures raw trace-generation throughput.
 func BenchmarkGenerate(b *testing.B) {
 	m := lifetime.ModelByName("cfrac")

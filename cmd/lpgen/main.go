@@ -15,7 +15,10 @@ import (
 	"os"
 
 	lifetime "repro"
+	"repro/internal/cliutil"
 )
+
+const name = "lpgen"
 
 func main() {
 	program := flag.String("program", "gawk", "model: cfrac, espresso, gawk, ghost, perl")
@@ -24,11 +27,13 @@ func main() {
 	seed := flag.Uint64("seed", 1, "RNG seed")
 	out := flag.String("o", "-", "output file, - for stdout")
 	text := flag.Bool("text", false, "write the human-readable text format")
-	flag.Parse()
+	cliutil.Parse(name,
+		"generate a synthetic allocation trace from a calibrated program model",
+		"lpgen -program gawk -input train -scale 0.1 -seed 1 -o gawk-train.trc")
 
 	m := lifetime.ModelByName(*program)
 	if m == nil {
-		fatal(fmt.Errorf("unknown program %q (want one of cfrac, espresso, gawk, ghost, perl)", *program))
+		cliutil.UsageError(name, "unknown program %q (want one of cfrac, espresso, gawk, ghost, perl)", *program)
 	}
 	var in lifetime.WorkloadInput
 	switch *input {
@@ -37,23 +42,23 @@ func main() {
 	case "test":
 		in = lifetime.TestInput
 	default:
-		fatal(fmt.Errorf("unknown input %q (want train or test)", *input))
+		cliutil.UsageError(name, "unknown input %q (want train or test)", *input)
 	}
 
 	tr, err := lifetime.GenerateTrace(m, in, *seed, *scale)
 	if err != nil {
-		fatal(err)
+		cliutil.Fatal(name, err)
 	}
 
 	var w io.Writer = os.Stdout
 	if *out != "-" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fatal(err)
+			cliutil.Fatal(name, err)
 		}
 		defer func() {
 			if err := f.Close(); err != nil {
-				fatal(err)
+				cliutil.Fatal(name, err)
 			}
 		}()
 		w = f
@@ -64,17 +69,12 @@ func main() {
 		err = lifetime.WriteTrace(w, tr)
 	}
 	if err != nil {
-		fatal(err)
+		cliutil.Fatal(name, err)
 	}
 	st, err := lifetime.ComputeStats(tr)
 	if err != nil {
-		fatal(err)
+		cliutil.Fatal(name, err)
 	}
 	fmt.Fprintf(os.Stderr, "lpgen: %s/%s: %d events, %d objects, %d bytes, max live %d bytes\n",
 		*program, *input, len(tr.Events), st.TotalObjects, st.TotalBytes, st.MaxBytes)
-}
-
-func fatal(err error) {
-	fmt.Fprintf(os.Stderr, "lpgen: %v\n", err)
-	os.Exit(1)
 }

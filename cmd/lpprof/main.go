@@ -18,7 +18,10 @@ import (
 	"os"
 
 	lifetime "repro"
+	"repro/internal/cliutil"
 )
+
+const name = "lpprof"
 
 func main() {
 	tracePath := flag.String("trace", "", "input trace file (binary format; - for stdin)")
@@ -28,23 +31,25 @@ func main() {
 	chainLength := flag.Int("chain-length", 0, "sub-chain length (0 = complete chain with recursion elimination)")
 	sizeOnly := flag.Bool("size-only", false, "key sites by size alone (Table 5 predictor)")
 	admit := flag.Float64("admit", 1.0, "fraction of a site's objects that must be short-lived")
-	flag.Parse()
+	cliutil.Parse(name,
+		"train a lifetime predictor from an allocation trace",
+		"lpprof -trace gawk.trc -o gawk-sites.json")
 
 	if *tracePath == "" {
-		fatal(fmt.Errorf("missing -trace"))
+		cliutil.UsageError(name, "missing -trace")
 	}
 	var r io.Reader = os.Stdin
 	if *tracePath != "-" {
 		f, err := os.Open(*tracePath)
 		if err != nil {
-			fatal(err)
+			cliutil.Fatal(name, err)
 		}
 		defer f.Close()
 		r = f
 	}
 	tr, err := lifetime.ReadTrace(r)
 	if err != nil {
-		fatal(err)
+		cliutil.Fatal(name, err)
 	}
 
 	cfg := lifetime.DefaultProfileConfig()
@@ -56,31 +61,26 @@ func main() {
 
 	db, err := lifetime.TrainDB(tr, cfg)
 	if err != nil {
-		fatal(err)
+		cliutil.Fatal(name, err)
 	}
 
 	var w io.Writer = os.Stdout
 	if *out != "-" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fatal(err)
+			cliutil.Fatal(name, err)
 		}
 		defer func() {
 			if err := f.Close(); err != nil {
-				fatal(err)
+				cliutil.Fatal(name, err)
 			}
 		}()
 		w = f
 	}
 	if err := db.WriteJSON(w, tr.Program); err != nil {
-		fatal(err)
+		cliutil.Fatal(name, err)
 	}
 	p := db.Predictor()
 	fmt.Fprintf(os.Stderr, "lpprof: %s: %d sites, %d admitted as short-lived predictors\n",
 		tr.Program, db.NumSites(), p.NumSites())
-}
-
-func fatal(err error) {
-	fmt.Fprintf(os.Stderr, "lpprof: %v\n", err)
-	os.Exit(1)
 }

@@ -16,28 +16,33 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/cliutil"
 	"repro/internal/profile"
 	"repro/internal/table"
 )
+
+const name = "lpreport"
 
 func main() {
 	sitesPath := flag.String("sites", "", "site database JSON from lpprof")
 	top := flag.Int("top", 25, "how many sites to list")
 	onlyShort := flag.Bool("short-only", false, "list only admitted short-lived predictor sites")
-	flag.Parse()
+	cliutil.Parse(name,
+		"render a site database as a human-readable report",
+		"lpreport -sites sites.json -top 20")
 
 	if *sitesPath == "" {
-		fatal(fmt.Errorf("missing -sites"))
+		cliutil.UsageError(name, "missing -sites")
 	}
 	f, err := os.Open(*sitesPath)
 	if err != nil {
-		fatal(err)
+		cliutil.Fatal(name, err)
 	}
 	defer f.Close()
 
 	var db profile.DBFile
 	if err := json.NewDecoder(f).Decode(&db); err != nil {
-		fatal(fmt.Errorf("decoding %s: %w", *sitesPath, err))
+		cliutil.Fatal(name, fmt.Errorf("decoding %s: %w", *sitesPath, err))
 	}
 
 	var totalBytes, totalObjects, shortBytes int64
@@ -110,9 +115,4 @@ func chainMode(cfg profile.Config) string {
 	default:
 		return "complete (recursion eliminated)"
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintf(os.Stderr, "lpreport: %v\n", err)
-	os.Exit(1)
 }

@@ -1,9 +1,11 @@
 // Command lpsim replays an allocation trace through one of the allocator
-// simulators — first-fit (Knuth), BSD, or the lifetime-predicting arena
-// allocator — and reports heap size, arena occupancy, and modeled
+// simulators — first-fit (Knuth), best-fit, BSD, or the lifetime-predicting
+// arena allocator — and reports heap size, arena occupancy, and modeled
 // instruction costs. Giving a site database (-sites, from lpprof) enables
 // lifetime prediction; training and trace may come from different inputs,
-// which is the paper's true prediction.
+// which is the paper's true prediction. With -obs the run is observed:
+// counters, search-length histograms, a live/heap timeline, and structured
+// replay events are exported as JSON for cmd/lpstats.
 //
 // Usage:
 //
@@ -11,48 +13,59 @@
 //	lpgen -program gawk -input test  -o test.trc
 //	lpprof -trace train.trc -o sites.json
 //	lpsim -trace test.trc -alloc arena -sites sites.json
-//	lpsim -trace test.trc -alloc firstfit
+//	lpsim -trace test.trc -alloc arena -sites sites.json -obs metrics.json
+//	lpstats -metrics metrics.json
 package main
 
 import (
-	"flag"
 	"fmt"
+	"io"
 	"os"
 
+	"flag"
+
 	lifetime "repro"
+	"repro/internal/cliutil"
+	"repro/internal/obs"
 	"repro/internal/profile"
 )
 
+const name = "lpsim"
+
 func main() {
 	tracePath := flag.String("trace", "", "input trace file (binary format)")
-	allocName := flag.String("alloc", "arena", "allocator: arena, firstfit, bsd")
+	allocName := flag.String("alloc", "arena", "allocator: arena, firstfit, bestfit, bsd")
 	sitesPath := flag.String("sites", "", "site database JSON (from lpprof); enables prediction")
 	callsPerAlloc := flag.Float64("calls-per-alloc", 0, "function calls per allocation for the CCE cost column (0 = use the trace's metadata)")
-	flag.Parse()
+	obsPath := flag.String("obs", "", "observe the run and write the metrics snapshot JSON here (- for stdout)")
+	obsInterval := flag.Int64("obs-interval", 0, "timeline sampling cadence in bytes allocated (0 = default 64KB)")
+	cliutil.Parse(name,
+		"replay an allocation trace through an allocator simulator",
+		"lpsim -trace test.trc -alloc arena -sites sites.json [-obs metrics.json]")
 
 	if *tracePath == "" {
-		fatal(fmt.Errorf("missing -trace"))
+		cliutil.UsageError(name, "missing -trace")
 	}
 	f, err := os.Open(*tracePath)
 	if err != nil {
-		fatal(err)
+		cliutil.Fatal(name, err)
 	}
 	tr, err := lifetime.ReadTrace(f)
 	f.Close()
 	if err != nil {
-		fatal(err)
+		cliutil.Fatal(name, err)
 	}
 
 	var pred *lifetime.Predictor
 	if *sitesPath != "" {
 		sf, err := os.Open(*sitesPath)
 		if err != nil {
-			fatal(err)
+			cliutil.Fatal(name, err)
 		}
 		pred, err = profile.ReadPredictor(sf)
 		sf.Close()
 		if err != nil {
-			fatal(err)
+			cliutil.Fatal(name, err)
 		}
 	}
 
@@ -62,26 +75,42 @@ func main() {
 		alloc = lifetime.NewArenaAllocator()
 	case "firstfit":
 		alloc = lifetime.NewFirstFitAllocator()
+	case "bestfit":
+		alloc = lifetime.NewBestFitAllocator()
 	case "bsd":
 		alloc = lifetime.NewBSDAllocator()
 	default:
-		fatal(fmt.Errorf("unknown allocator %q (want arena, firstfit, bsd)", *allocName))
+		cliutil.UsageError(name, "unknown allocator %q (want arena, firstfit, bestfit, bsd)", *allocName)
 	}
 
-	res, err := lifetime.Simulate(tr, alloc, pred)
+	var col *lifetime.ObsCollector
+	if *obsPath != "" {
+		col = lifetime.NewObsCollector(lifetime.ObsOptions{
+			Label:            tr.Program + "/" + *allocName,
+			TimelineInterval: *obsInterval,
+		})
+	}
+
+	res, err := lifetime.Simulate(tr, alloc, pred, col)
 	if err != nil {
-		fatal(err)
+		cliutil.Fatal(name, err)
 	}
 
-	fmt.Printf("program:        %s (%s input)\n", tr.Program, tr.Input)
-	fmt.Printf("allocator:      %s\n", *allocName)
-	fmt.Printf("allocations:    %d (%d bytes)\n", res.TotalAllocs, res.TotalBytes)
-	fmt.Printf("max heap:       %d bytes (%d KB)\n", res.MaxHeap, res.MaxHeap>>10)
+	// With -obs -, stdout carries the JSON snapshot; the human-readable
+	// summary moves to stderr so the stream stays pipeable into lpstats.
+	out := io.Writer(os.Stdout)
+	if *obsPath == "-" {
+		out = os.Stderr
+	}
+	fmt.Fprintf(out, "program:        %s (%s input)\n", tr.Program, tr.Input)
+	fmt.Fprintf(out, "allocator:      %s\n", *allocName)
+	fmt.Fprintf(out, "allocations:    %d (%d bytes)\n", res.TotalAllocs, res.TotalBytes)
+	fmt.Fprintf(out, "max heap:       %d bytes (%d KB)\n", res.MaxHeap, res.MaxHeap>>10)
 	if *allocName == "arena" {
-		fmt.Printf("arena allocs:   %.1f%%\n", res.ArenaAllocPct)
-		fmt.Printf("arena bytes:    %.1f%%\n", res.ArenaBytePct)
-		fmt.Printf("pinned arenas:  %d\n", res.PinnedArenas)
-		fmt.Printf("fallbacks:      %d\n", res.Counts.ArenaFallbacks)
+		fmt.Fprintf(out, "arena allocs:   %.1f%%\n", res.ArenaAllocPct)
+		fmt.Fprintf(out, "arena bytes:    %.1f%%\n", res.ArenaBytePct)
+		fmt.Fprintf(out, "pinned arenas:  %d\n", res.PinnedArenas)
+		fmt.Fprintf(out, "fallbacks:      %d\n", res.Counts.ArenaFallbacks)
 	}
 
 	params := lifetime.DefaultCostParams()
@@ -89,7 +118,7 @@ func main() {
 	switch *allocName {
 	case "bsd":
 		cost = lifetime.CostBSD(res.Counts, params)
-	case "firstfit":
+	case "firstfit", "bestfit":
 		cost = lifetime.CostFirstFit(res.Counts, params)
 	case "arena":
 		cost = lifetime.CostArenaLen4(res.Counts, params)
@@ -98,14 +127,36 @@ func main() {
 			cpa = float64(tr.FunctionCalls) / float64(res.TotalAllocs)
 		}
 		cce := lifetime.CostArenaCCE(res.Counts, params, cpa)
-		fmt.Printf("instr/op (cce): alloc %.1f, free %.1f, a+f %.1f\n",
+		fmt.Fprintf(out, "instr/op (cce): alloc %.1f, free %.1f, a+f %.1f\n",
 			cce.Alloc, cce.Free, cce.Total())
 	}
-	fmt.Printf("instr/op:       alloc %.1f, free %.1f, a+f %.1f\n",
+	fmt.Fprintf(out, "instr/op:       alloc %.1f, free %.1f, a+f %.1f\n",
 		cost.Alloc, cost.Free, cost.Total())
+
+	if *obsPath != "" {
+		if err := writeObs(*obsPath, res.Obs); err != nil {
+			cliutil.Fatal(name, err)
+		}
+		if *obsPath != "-" {
+			fmt.Printf("metrics:        %s (render with lpstats -metrics %s)\n", *obsPath, *obsPath)
+		}
+	}
 }
 
-func fatal(err error) {
-	fmt.Fprintf(os.Stderr, "lpsim: %v\n", err)
-	os.Exit(1)
+func writeObs(path string, snap *obs.Snapshot) error {
+	if snap == nil {
+		return fmt.Errorf("no observability snapshot was produced")
+	}
+	if path == "-" {
+		return obs.WriteJSON(os.Stdout, snap)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteJSON(f, snap); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

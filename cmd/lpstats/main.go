@@ -1,0 +1,246 @@
+// Command lpstats renders the metrics snapshot exported by lpsim -obs as
+// a text report: run header, counters and gauges, histograms, a
+// fragmentation-over-time table built from the live/heap timeline, the
+// structured-event summary, per-phase counter deltas, and the top
+// allocation sites by bytes.
+//
+// Usage:
+//
+//	lpsim -trace test.trc -alloc arena -sites sites.json -obs metrics.json
+//	lpstats -metrics metrics.json
+//	lpstats -metrics metrics.json -top 10 -rows 12
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"repro/internal/cliutil"
+	"repro/internal/obs"
+	"repro/internal/table"
+)
+
+const name = "lpstats"
+
+func main() {
+	metricsPath := flag.String("metrics", "", "metrics snapshot JSON from lpsim -obs (- for stdin)")
+	top := flag.Int("top", 15, "how many allocation sites to list")
+	rows := flag.Int("rows", 16, "how many timeline rows in the fragmentation table")
+	cliutil.Parse(name,
+		"render an lpsim -obs metrics snapshot as a text report",
+		"lpstats -metrics metrics.json -top 10")
+
+	if *metricsPath == "" {
+		cliutil.UsageError(name, "missing -metrics")
+	}
+	var r io.Reader = os.Stdin
+	if *metricsPath != "-" {
+		f, err := os.Open(*metricsPath)
+		if err != nil {
+			cliutil.Fatal(name, err)
+		}
+		defer f.Close()
+		r = f
+	}
+	snap, err := obs.ReadJSON(r)
+	if err != nil {
+		cliutil.Fatal(name, fmt.Errorf("decoding %s: %w", *metricsPath, err))
+	}
+
+	printHeader(snap)
+	printCounters(snap)
+	printHistograms(snap)
+	printTimeline(snap, *rows)
+	printEvents(snap)
+	printPhases(snap)
+	printSites(snap, *top)
+}
+
+func printHeader(s *obs.Snapshot) {
+	if s.Label != "" {
+		fmt.Printf("run:        %s\n", s.Label)
+	}
+	if s.Program != "" {
+		fmt.Printf("program:    %s\n", s.Program)
+	}
+	if s.Allocator != "" {
+		fmt.Printf("allocator:  %s\n", s.Allocator)
+	}
+	fmt.Printf("clock:      %d bytes allocated\n\n", s.Clock)
+}
+
+func printCounters(s *obs.Snapshot) {
+	if len(s.Counters) == 0 && len(s.Gauges) == 0 {
+		return
+	}
+	tb := table.New("counters and gauges", "Name", "Value", "Max")
+	names := make([]string, 0, len(s.Counters)+len(s.Gauges))
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if v, ok := s.Counters[n]; ok {
+			tb.RowStrings(n, fmt.Sprintf("%d", v), "")
+			continue
+		}
+		g := s.Gauges[n]
+		tb.RowStrings(n, fmt.Sprintf("%d", g.Value), fmt.Sprintf("%d", g.Max))
+	}
+	tb.WriteTo(os.Stdout)
+}
+
+func printHistograms(s *obs.Snapshot) {
+	names := make([]string, 0, len(s.Histograms))
+	for n := range s.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := s.Histograms[n]
+		if h.Count == 0 {
+			continue
+		}
+		tb := table.New(
+			fmt.Sprintf("%s (%s; n=%d mean=%.1f max=%d)", n, h.Kind, h.Count, h.Mean(), h.Max),
+			"Bucket", "Count", "Share")
+		for i, c := range h.Counts {
+			if c == 0 {
+				continue
+			}
+			lo, hi := h.BucketBounds(i)
+			tb.RowStrings(boundLabel(lo, hi),
+				fmt.Sprintf("%d", c),
+				fmt.Sprintf("%.1f%%", 100*float64(c)/float64(h.Count)))
+		}
+		if h.Overflow > 0 {
+			tb.RowStrings("overflow", fmt.Sprintf("%d", h.Overflow),
+				fmt.Sprintf("%.1f%%", 100*float64(h.Overflow)/float64(h.Count)))
+		}
+		tb.WriteTo(os.Stdout)
+	}
+}
+
+func boundLabel(lo, hi int64) string {
+	if lo == hi {
+		return fmt.Sprintf("%d", lo)
+	}
+	return fmt.Sprintf("[%d,%d]", lo, hi)
+}
+
+// printTimeline renders fragmentation over time: at each sampled clock,
+// live bytes versus heap bytes and the utilisation ratio between them.
+func printTimeline(s *obs.Snapshot, rows int) {
+	if len(s.Timeline) == 0 || rows <= 0 {
+		return
+	}
+	tb := table.New(
+		fmt.Sprintf("fragmentation over time (%d samples, every %d bytes)",
+			len(s.Timeline), s.TimelineInterval),
+		"Clock", "Live KB", "Objects", "Heap KB", "Util%", "Arena occ%")
+	stride := (len(s.Timeline) + rows - 1) / rows
+	for i := 0; i < len(s.Timeline); i += stride {
+		// Always end on the final sample so the table reaches the end
+		// of the run.
+		if i+stride >= len(s.Timeline) {
+			i = len(s.Timeline) - 1
+		}
+		p := s.Timeline[i]
+		util := "-"
+		if p.HeapBytes > 0 {
+			util = fmt.Sprintf("%.1f", 100*float64(p.LiveBytes)/float64(p.HeapBytes))
+		}
+		tb.RowStrings(
+			fmt.Sprintf("%d", p.Clock),
+			fmt.Sprintf("%d", p.LiveBytes>>10),
+			fmt.Sprintf("%d", p.LiveObjects),
+			fmt.Sprintf("%d", p.HeapBytes>>10),
+			util,
+			fmt.Sprintf("%.1f", 100*p.ArenaOccupancy))
+		if i == len(s.Timeline)-1 {
+			break
+		}
+	}
+	tb.WriteTo(os.Stdout)
+}
+
+func printEvents(s *obs.Snapshot) {
+	if len(s.Events.Counts) == 0 {
+		return
+	}
+	kinds := make([]string, 0, len(s.Events.Counts))
+	for k := range s.Events.Counts {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	tb := table.New("replay events", "Kind", "Count")
+	total := int64(0)
+	for _, k := range kinds {
+		tb.RowStrings(k, fmt.Sprintf("%d", s.Events.Counts[k]))
+		total += s.Events.Counts[k]
+	}
+	tb.RowStrings("total", fmt.Sprintf("%d", total))
+	tb.WriteTo(os.Stdout)
+	if s.Events.Dropped > 0 {
+		fmt.Printf("(event window dropped %d oldest events; totals above are exact)\n\n",
+			s.Events.Dropped)
+	}
+}
+
+func printPhases(s *obs.Snapshot) {
+	if len(s.Phases) < 2 {
+		return
+	}
+	// Pick the counters that actually move and show per-phase deltas.
+	last := s.Phases[len(s.Phases)-1]
+	names := make([]string, 0, len(last.Counters))
+	for n, v := range last.Counters {
+		if v != 0 {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return
+	}
+	cols := []string{"Counter"}
+	for _, ph := range s.Phases {
+		cols = append(cols, ph.Label)
+	}
+	tb := table.New("counter deltas per phase", cols...)
+	for _, n := range names {
+		cells := []string{n}
+		prev := int64(0)
+		for _, ph := range s.Phases {
+			v := ph.Counters[n]
+			cells = append(cells, fmt.Sprintf("%d", v-prev))
+			prev = v
+		}
+		tb.RowStrings(cells...)
+	}
+	tb.WriteTo(os.Stdout)
+}
+
+func printSites(s *obs.Snapshot, top int) {
+	if len(s.Sites) == 0 || top <= 0 {
+		return
+	}
+	n := len(s.Sites)
+	if n > top {
+		n = top
+	}
+	tb := table.New(fmt.Sprintf("top %d sites by bytes", n),
+		"Site", "Allocs", "Bytes")
+	for _, site := range s.Sites[:n] {
+		tb.RowStrings(site.Site,
+			fmt.Sprintf("%d", site.Allocs),
+			fmt.Sprintf("%d", site.Bytes))
+	}
+	tb.WriteTo(os.Stdout)
+}

@@ -18,15 +18,20 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/cliutil"
 	"repro/internal/core"
 	"repro/internal/table"
 )
+
+const name = "lptables"
 
 func main() {
 	scale := flag.Float64("scale", 0.25, "trace scale relative to the paper's runs")
 	seed := flag.Uint64("seed", 1993, "base RNG seed")
 	tables := flag.String("tables", "1,2,3,4,5,6,7,8,9,L,A", "comma-separated tables to produce (L = locality extension, A = ablations)")
-	flag.Parse()
+	cliutil.Parse(name,
+		"regenerate the paper's tables from the models and simulators",
+		"lptables -scale 0.25 -seed 1993 -tables 2,7,8")
 
 	want := map[string]bool{}
 	for _, t := range strings.Split(*tables, ",") {
@@ -93,8 +98,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "building %s...\n", m.Name)
 		a, err := cfg.Build(m)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "lptables: %v\n", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		p2 := core.PaperTable2[m.Name]
 		p3 := core.PaperTable3[m.Name]
@@ -324,7 +328,4 @@ func main() {
 	}
 }
 
-func fatal(err error) {
-	fmt.Fprintf(os.Stderr, "lptables: %v\n", err)
-	os.Exit(1)
-}
+func fatal(err error) { cliutil.Fatal(name, err) }

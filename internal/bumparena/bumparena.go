@@ -30,6 +30,8 @@ package bumparena
 import (
 	"fmt"
 	"runtime"
+
+	"repro/internal/obs"
 )
 
 // Config sizes the arena area and the training threshold.
@@ -122,6 +124,18 @@ type Allocator struct {
 	bufArena map[*byte]int
 
 	stats Stats
+	obs   *bumpObs // nil unless a collector is attached
+}
+
+// bumpObs caches resolved metric handles; the prototype stamps events
+// with its own bytes-allocated clock.
+type bumpObs struct {
+	col        *obs.Collector
+	bumpAllocs *obs.Counter
+	heapAllocs *obs.Counter
+	resets     *obs.Counter
+	fallbacks  *obs.Counter
+	clock      int64
 }
 
 type birth struct {
@@ -170,6 +184,23 @@ func NewPredicting(cfg Config, db *SiteDB) *Allocator {
 	return a
 }
 
+// Observe streams the prototype's allocation-path decisions into an
+// obs.Collector (metrics prefixed "bump."); a nil collector detaches.
+// Like the allocator itself, observation is not safe for concurrent use.
+func (a *Allocator) Observe(col *obs.Collector) {
+	if col == nil {
+		a.obs = nil
+		return
+	}
+	a.obs = &bumpObs{
+		col:        col,
+		bumpAllocs: col.Counter("bump.bump_allocs"),
+		heapAllocs: col.Counter("bump.heap_allocs"),
+		resets:     col.Counter("bump.resets"),
+		fallbacks:  col.Counter("bump.fallbacks"),
+	}
+}
+
 // site captures the current length-N call-chain above Alloc and folds it
 // with the rounded size.
 func (a *Allocator) site(size int) siteKey {
@@ -204,14 +235,28 @@ func (a *Allocator) Alloc(size int) []byte {
 		return buf
 	}
 	// Predicting mode.
+	if a.obs != nil {
+		a.obs.clock += int64(size)
+		a.obs.col.SetClock(a.obs.clock)
+	}
 	if a.db != nil && a.db.short[key] && size <= a.cfg.ArenaSize {
 		if buf := a.bump(size); buf != nil {
 			a.stats.BumpAllocs++
+			if a.obs != nil {
+				a.obs.bumpAllocs.Inc()
+			}
 			return buf
 		}
 		a.stats.Fallbacks++
+		if a.obs != nil {
+			a.obs.fallbacks.Inc()
+			a.obs.col.Emit(obs.EvArenaOverflow, int64(size))
+		}
 	}
 	a.stats.HeapAllocs++
+	if a.obs != nil {
+		a.obs.heapAllocs.Inc()
+	}
 	return make([]byte, size)
 }
 
@@ -228,6 +273,10 @@ func (a *Allocator) bump(size int) []byte {
 				ar = &a.arenas[idx]
 				ar.used = 0
 				a.stats.ArenaResets++
+				if a.obs != nil {
+					a.obs.resets.Inc()
+					a.obs.col.Emit(obs.EvArenaReuse, int64(idx))
+				}
 				found = true
 				break
 			}

@@ -1,0 +1,54 @@
+// Package cliutil gives every cmd/* tool the same command-line surface:
+// a -version flag, a usage banner built from the tool's synopsis, and
+// uniform exit codes — 0 success, 1 runtime error, 2 usage error (the
+// code flag.Parse itself uses for bad flags).
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+// Version identifies the tool suite; every tool's -version flag prints
+// it. Bump it when the trace or metrics formats change shape.
+const Version = "lifetime-repro 1.1 (Barrett & Zorn, PLDI 1993 reproduction)"
+
+// exit is swappable for tests.
+var exit = os.Exit
+
+// Parse wires the shared flags and usage text, then parses the command
+// line. Call it after the tool registers its own flags, in place of
+// flag.Parse. The synopsis is a one-line description shown at the top of
+// -help output; extra lines (e.g. examples) may follow via example.
+func Parse(name, synopsis string, examples ...string) {
+	version := flag.Bool("version", false, "print the tool-suite version and exit")
+	flag.Usage = func() {
+		w := flag.CommandLine.Output()
+		fmt.Fprintf(w, "usage: %s [flags]\n%s\n", name, synopsis)
+		for _, ex := range examples {
+			fmt.Fprintf(w, "  %s\n", ex)
+		}
+		fmt.Fprintf(w, "\nflags:\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if *version {
+		fmt.Printf("%s %s\n", name, Version)
+		exit(0)
+	}
+}
+
+// Fatal reports a runtime error and exits 1.
+func Fatal(name string, err error) {
+	fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+	exit(1)
+}
+
+// UsageError reports a command-line mistake (missing or inconsistent
+// flags), points at -help, and exits 2 — the same code flag.Parse uses.
+func UsageError(name, format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "%s: %s\n", name, fmt.Sprintf(format, args...))
+	fmt.Fprintf(os.Stderr, "run %s -help for usage\n", name)
+	exit(2)
+}

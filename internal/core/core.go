@@ -18,11 +18,13 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/callchain"
 	"repro/internal/costmodel"
 	"repro/internal/heapsim"
 	"repro/internal/locality"
+	"repro/internal/obs"
 	"repro/internal/profile"
 	"repro/internal/synth"
 	"repro/internal/trace"
@@ -106,15 +108,213 @@ type SimResult struct {
 	ArenaAllocPct float64
 	ArenaBytePct  float64
 	PinnedArenas  int
+	// Obs is the observability snapshot (metrics, timeline, events,
+	// per-phase counters) when a collector was attached; nil otherwise.
+	// Every other field is byte-identical with and without a collector.
+	Obs *obs.Snapshot
+}
+
+// pickCollector resolves the optional trailing collector argument the
+// replay functions accept.
+func pickCollector(observers []*obs.Collector) *obs.Collector {
+	for _, c := range observers {
+		if c != nil {
+			return c
+		}
+	}
+	return nil
+}
+
+// finishSim fills a replay's aggregate fields from the allocator's final
+// state (shared by the nil-collector and observed paths, so both produce
+// identical values).
+func finishSim(res *SimResult, alloc heapsim.Allocator) {
+	res.MaxHeap = alloc.MaxHeapSize()
+	res.Counts = alloc.Counts()
+	if res.TotalAllocs > 0 {
+		res.ArenaAllocPct = 100 * float64(res.Counts.ArenaAllocs) / float64(res.TotalAllocs)
+	}
+	if res.TotalBytes > 0 {
+		res.ArenaBytePct = 100 * float64(res.Counts.ArenaBytes) / float64(res.TotalBytes)
+	}
+	if ar, ok := alloc.(*heapsim.Arena); ok {
+		res.PinnedArenas = ar.PinnedArenas()
+	}
+}
+
+// allocatorName labels the built-in simulators for snapshots.
+func allocatorName(alloc heapsim.Allocator) string {
+	switch alloc.(type) {
+	case *heapsim.FirstFit:
+		return "firstfit"
+	case *heapsim.BestFit:
+		return "bestfit"
+	case *heapsim.BSD:
+		return "bsd"
+	case *heapsim.Arena:
+		return "arena"
+	case *heapsim.SiteArena:
+		return "sitearena"
+	case *heapsim.Custom:
+		return "custom"
+	}
+	return ""
+}
+
+// occupancyReporter is implemented by arena-style allocators that can
+// report their arena-area occupancy for timeline samples.
+type occupancyReporter interface {
+	ArenaOccupancy() float64
+}
+
+// maxObsSites bounds the per-site ranking attached to a snapshot.
+const maxObsSites = 50
+
+// obsTracker carries the replay-side observability state: the
+// bytes-allocated clock, the live set (for live-bytes timelines), phase
+// boundaries, and the per-site allocation ranking. It exists only when a
+// collector is attached, so the nil-collector replay path pays a single
+// pointer compare per event.
+type obsTracker struct {
+	col   *obs.Collector
+	alloc heapsim.Allocator
+	occ   occupancyReporter // nil for non-arena allocators
+
+	clock       int64
+	liveBytes   int64
+	liveObjects int64
+	sizes       map[trace.ObjectID]int64
+
+	siteAllocs map[callchain.ChainID]*siteAgg
+
+	nEvents int // 0 when unknown (streaming)
+	seen    int
+}
+
+type siteAgg struct {
+	allocs int64
+	bytes  int64
+}
+
+// newObsTracker attaches the collector to the allocator (when it is
+// Observable) and prepares the replay-side state.
+func newObsTracker(col *obs.Collector, alloc heapsim.Allocator, nEvents int) *obsTracker {
+	if o, ok := alloc.(heapsim.Observable); ok {
+		o.Observe(col)
+	}
+	t := &obsTracker{
+		col:        col,
+		alloc:      alloc,
+		sizes:      make(map[trace.ObjectID]int64),
+		siteAllocs: make(map[callchain.ChainID]*siteAgg),
+		nEvents:    nEvents,
+	}
+	if occ, ok := alloc.(occupancyReporter); ok {
+		t.occ = occ
+	}
+	return t
+}
+
+// step observes one replayed event (after the allocator accepted it).
+func (t *obsTracker) step(ev trace.Event) {
+	switch ev.Kind {
+	case trace.KindAlloc:
+		t.clock += ev.Size
+		t.liveBytes += ev.Size
+		t.liveObjects++
+		t.sizes[ev.Obj] = ev.Size
+		ag := t.siteAllocs[ev.Chain]
+		if ag == nil {
+			ag = &siteAgg{}
+			t.siteAllocs[ev.Chain] = ag
+		}
+		ag.allocs++
+		ag.bytes += ev.Size
+		t.col.SetClock(t.clock)
+		if t.col.TimelineDue(t.clock) {
+			t.sample()
+		}
+	case trace.KindFree:
+		if sz, ok := t.sizes[ev.Obj]; ok {
+			t.liveBytes -= sz
+			t.liveObjects--
+			delete(t.sizes, ev.Obj)
+		}
+	}
+	t.seen++
+	if t.nEvents >= 4 {
+		switch t.seen {
+		case t.nEvents / 4:
+			t.col.MarkPhase("25%")
+		case t.nEvents / 2:
+			t.col.MarkPhase("50%")
+		case t.nEvents * 3 / 4:
+			t.col.MarkPhase("75%")
+		}
+	}
+}
+
+// sample records one timeline point from the current replay state.
+func (t *obsTracker) sample() {
+	s := obs.Sample{
+		Clock:       t.clock,
+		LiveBytes:   t.liveBytes,
+		LiveObjects: t.liveObjects,
+		HeapBytes:   t.alloc.HeapSize(),
+	}
+	if t.occ != nil {
+		s.ArenaOccupancy = t.occ.ArenaOccupancy()
+	}
+	t.col.RecordSample(s)
+}
+
+// finish takes the end-of-run sample and phase mark, ranks sites by
+// bytes, and freezes the snapshot. The chain table renders site labels.
+func (t *obsTracker) finish(program string, tb *callchain.Table) *obs.Snapshot {
+	t.sample()
+	t.col.MarkPhase("end")
+
+	chains := make([]callchain.ChainID, 0, len(t.siteAllocs))
+	for id := range t.siteAllocs {
+		chains = append(chains, id)
+	}
+	sort.Slice(chains, func(i, j int) bool {
+		a, b := t.siteAllocs[chains[i]], t.siteAllocs[chains[j]]
+		if a.bytes != b.bytes {
+			return a.bytes > b.bytes
+		}
+		return chains[i] < chains[j]
+	})
+	if len(chains) > maxObsSites {
+		chains = chains[:maxObsSites]
+	}
+	sites := make([]obs.SiteBytes, 0, len(chains))
+	for _, id := range chains {
+		ag := t.siteAllocs[id]
+		sites = append(sites, obs.SiteBytes{Site: tb.String(id), Allocs: ag.allocs, Bytes: ag.bytes})
+	}
+	t.col.SetSites(sites)
+
+	snap := t.col.Snapshot()
+	snap.Program = program
+	snap.Allocator = allocatorName(t.alloc)
+	return snap
 }
 
 // RunSim replays a trace through an allocator. When pred is non-nil its
 // site database drives the predictedShort hint (chains are mapped by name,
-// so cross-input true prediction works transparently).
-func RunSim(tr *trace.Trace, alloc heapsim.Allocator, pred *profile.Predictor) (SimResult, error) {
+// so cross-input true prediction works transparently). An optional
+// trailing obs.Collector records metrics, a timeline, and structured
+// events; with no (or a nil) collector the replay and its SimResult are
+// identical to the uninstrumented behaviour.
+func RunSim(tr *trace.Trace, alloc heapsim.Allocator, pred *profile.Predictor, observers ...*obs.Collector) (SimResult, error) {
 	var mapper *profile.Mapper
 	if pred != nil {
 		mapper = pred.NewMapper(tr.Table)
+	}
+	var ot *obsTracker
+	if col := pickCollector(observers); col != nil {
+		ot = newObsTracker(col, alloc, len(tr.Events))
 	}
 	res := SimResult{}
 	for i, ev := range tr.Events {
@@ -136,17 +336,13 @@ func RunSim(tr *trace.Trace, alloc heapsim.Allocator, pred *profile.Predictor) (
 		default:
 			return res, fmt.Errorf("core: event %d: bad kind %d", i, ev.Kind)
 		}
+		if ot != nil {
+			ot.step(ev)
+		}
 	}
-	res.MaxHeap = alloc.MaxHeapSize()
-	res.Counts = alloc.Counts()
-	if res.TotalAllocs > 0 {
-		res.ArenaAllocPct = 100 * float64(res.Counts.ArenaAllocs) / float64(res.TotalAllocs)
-	}
-	if res.TotalBytes > 0 {
-		res.ArenaBytePct = 100 * float64(res.Counts.ArenaBytes) / float64(res.TotalBytes)
-	}
-	if ar, ok := alloc.(*heapsim.Arena); ok {
-		res.PinnedArenas = ar.PinnedArenas()
+	finishSim(&res, alloc)
+	if ot != nil {
+		res.Obs = ot.finish(tr.Program, tr.Table)
 	}
 	return res, nil
 }
@@ -497,12 +693,18 @@ func (a *Artifacts) InternTables() (train, test *callchain.Table) {
 // without materializing the trace: memory stays proportional to the live
 // object set, so paper-scale (and larger) simulations run in a few
 // megabytes. The predictor, when non-nil, is consulted against the chains
-// interned on the fly.
-func RunSimStream(m *synth.Model, gcfg synth.Config, alloc heapsim.Allocator, pred *profile.Predictor) (SimResult, error) {
+// interned on the fly. An optional trailing obs.Collector records metrics
+// as in RunSim (the event count is unknown up front, so only the final
+// phase snapshot is marked).
+func RunSimStream(m *synth.Model, gcfg synth.Config, alloc heapsim.Allocator, pred *profile.Predictor, observers ...*obs.Collector) (SimResult, error) {
 	tb := callchain.NewTable()
 	var mapper *profile.Mapper
 	if pred != nil {
 		mapper = pred.NewMapper(tb)
+	}
+	var ot *obsTracker
+	if col := pickCollector(observers); col != nil {
+		ot = newObsTracker(col, alloc, 0)
 	}
 	res := SimResult{}
 	err := m.Stream(gcfg, tb, func(ev trace.Event) error {
@@ -517,26 +719,24 @@ func RunSimStream(m *synth.Model, gcfg synth.Config, alloc heapsim.Allocator, pr
 			}
 			res.TotalAllocs++
 			res.TotalBytes += ev.Size
-			return nil
 		case trace.KindFree:
-			return alloc.Free(ev.Obj)
+			if err := alloc.Free(ev.Obj); err != nil {
+				return err
+			}
 		default:
 			return fmt.Errorf("core: bad event kind %d", ev.Kind)
 		}
+		if ot != nil {
+			ot.step(ev)
+		}
+		return nil
 	})
 	if err != nil {
 		return res, err
 	}
-	res.MaxHeap = alloc.MaxHeapSize()
-	res.Counts = alloc.Counts()
-	if res.TotalAllocs > 0 {
-		res.ArenaAllocPct = 100 * float64(res.Counts.ArenaAllocs) / float64(res.TotalAllocs)
-	}
-	if res.TotalBytes > 0 {
-		res.ArenaBytePct = 100 * float64(res.Counts.ArenaBytes) / float64(res.TotalBytes)
-	}
-	if ar, ok := alloc.(*heapsim.Arena); ok {
-		res.PinnedArenas = ar.PinnedArenas()
+	finishSim(&res, alloc)
+	if ot != nil {
+		res.Obs = ot.finish(m.Name, tb)
 	}
 	return res, nil
 }
@@ -545,9 +745,14 @@ func RunSimStream(m *synth.Model, gcfg synth.Config, alloc heapsim.Allocator, pr
 // (heapsim.SiteArena), routing each predicted-short allocation to its own
 // site's pool. This is the pollution-isolation variant explored under the
 // paper's "further exploration of algorithms" future work; see
-// EXPERIMENTS.md.
-func RunSimSited(tr *trace.Trace, alloc *heapsim.SiteArena, pred *profile.Predictor) (SimResult, error) {
+// EXPERIMENTS.md. An optional trailing obs.Collector records metrics as
+// in RunSim.
+func RunSimSited(tr *trace.Trace, alloc *heapsim.SiteArena, pred *profile.Predictor, observers ...*obs.Collector) (SimResult, error) {
 	mapper := pred.NewMapper(tr.Table)
+	var ot *obsTracker
+	if col := pickCollector(observers); col != nil {
+		ot = newObsTracker(col, alloc, len(tr.Events))
+	}
 	res := SimResult{}
 	for i, ev := range tr.Events {
 		switch ev.Kind {
@@ -576,15 +781,14 @@ func RunSimSited(tr *trace.Trace, alloc *heapsim.SiteArena, pred *profile.Predic
 		default:
 			return res, fmt.Errorf("core: event %d: bad kind %d", i, ev.Kind)
 		}
+		if ot != nil {
+			ot.step(ev)
+		}
 	}
-	res.MaxHeap = alloc.MaxHeapSize()
-	res.Counts = alloc.Counts()
-	if res.TotalAllocs > 0 {
-		res.ArenaAllocPct = 100 * float64(res.Counts.ArenaAllocs) / float64(res.TotalAllocs)
-	}
-	if res.TotalBytes > 0 {
-		res.ArenaBytePct = 100 * float64(res.Counts.ArenaBytes) / float64(res.TotalBytes)
-	}
+	finishSim(&res, alloc)
 	res.PinnedArenas = alloc.PinnedPools()
+	if ot != nil {
+		res.Obs = ot.finish(tr.Program, tr.Table)
+	}
 	return res, nil
 }

@@ -3,6 +3,7 @@ package heapsim
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -37,6 +38,17 @@ type Arena struct {
 	current     int
 	where       map[trace.ObjectID]arenaLoc // arena objects only
 	ops         OpCounts
+	obs         *arenaObs // nil unless a collector is attached
+}
+
+// arenaObs caches resolved metric handles for the hot paths.
+type arenaObs struct {
+	col       *obs.Collector
+	scanLen   *obs.Histogram // arenas examined per overflow hunt (linear)
+	allocSize *obs.Histogram // arena-placed sizes (log2)
+	resets    *obs.Counter
+	fallbacks *obs.Counter
+	pinned    *obs.Gauge
 }
 
 // arenaLoc records where in the arena area an object was bump-allocated.
@@ -73,11 +85,32 @@ func (a *Arena) init() {
 		a.ArenaSize = 4 << 10
 	}
 	if a.General == nil {
-		a.General = NewFirstFit()
+		// The fallback heap reports errors as the composite's, but its
+		// metrics stay under "firstfit." so snapshots separate the layers.
+		a.General = &FirstFit{name: "arena", prefix: "firstfit"}
 	}
 	a.arenas = make([]arenaState, a.NumArenas)
 	a.where = make(map[trace.ObjectID]arenaLoc)
 	a.initialized = true
+}
+
+// Observe implements Observable; the collector also attaches to the
+// general fallback heap, so one snapshot covers both layers.
+func (a *Arena) Observe(col *obs.Collector) {
+	a.init()
+	a.General.Observe(col)
+	if col == nil {
+		a.obs = nil
+		return
+	}
+	a.obs = &arenaObs{
+		col:       col,
+		scanLen:   col.LinearHistogram("arena.scan_len", 1, 32),
+		allocSize: col.Log2Histogram("arena.alloc_size", 16),
+		resets:    col.Counter("arena.resets"),
+		fallbacks: col.Counter("arena.fallbacks"),
+		pinned:    col.Gauge("arena.pinned"),
+	}
 }
 
 // Alloc implements Allocator. Objects with predictedShort true are placed
@@ -106,21 +139,31 @@ func (a *Arena) Alloc(id trace.ObjectID, size int64, predictedShort bool) error 
 			a.arenas[idx].used = 0
 			a.current = idx
 			a.ops.ArenaResets++
+			if a.obs != nil {
+				a.obs.scanLen.Observe(int64(i))
+				a.obs.resets.Inc()
+				a.obs.col.Emit(obs.EvArenaReuse, int64(idx))
+			}
 			return a.bump(id, size)
 		}
 	}
 	// All arenas pinned by live (possibly mispredicted) objects:
 	// degenerate to the general-purpose allocator.
+	if a.obs != nil {
+		a.obs.scanLen.Observe(int64(a.NumArenas))
+		a.obs.fallbacks.Inc()
+		a.obs.col.Emit(obs.EvArenaOverflow, size)
+	}
 	return a.generalAlloc(id, size, true)
 }
 
 // bump places the object in the current arena.
 func (a *Arena) bump(id trace.ObjectID, size int64) error {
 	if _, dup := a.where[id]; dup {
-		return errDoubleAlloc(id)
+		return errDoubleAlloc("arena", id)
 	}
 	if _, live := a.General.live[id]; live {
-		return errDoubleAlloc(id)
+		return errDoubleAlloc("arena", id)
 	}
 	st := &a.arenas[a.current]
 	a.where[id] = arenaLoc{idx: a.current, off: st.used}
@@ -130,13 +173,19 @@ func (a *Arena) bump(id trace.ObjectID, size int64) error {
 	a.ops.ArenaAllocs++
 	a.ops.ArenaObjects++
 	a.ops.ArenaBytes += size
+	if a.obs != nil {
+		a.obs.allocSize.Observe(size)
+		if st.count == 1 {
+			a.obs.pinned.Set(int64(a.PinnedArenas()))
+		}
+	}
 	return nil
 }
 
 // generalAlloc places the object in the fallback heap.
 func (a *Arena) generalAlloc(id trace.ObjectID, size int64, fallback bool) error {
 	if _, dup := a.where[id]; dup {
-		return errDoubleAlloc(id)
+		return errDoubleAlloc("arena", id)
 	}
 	if err := a.General.Alloc(id, size, false); err != nil {
 		return err
@@ -165,6 +214,9 @@ func (a *Arena) Free(id trace.ObjectID) error {
 		st.count--
 		a.ops.Frees++
 		a.ops.ArenaFrees++
+		if a.obs != nil && st.count == 0 {
+			a.obs.pinned.Set(int64(a.PinnedArenas()))
+		}
 		return nil
 	}
 	if err := a.General.Free(id); err != nil {
@@ -211,6 +263,20 @@ func (a *Arena) Addr(id trace.ObjectID) (int64, bool) {
 		return ArenaBase + int64(loc.idx)*a.ArenaSize + loc.off, true
 	}
 	return a.General.Addr(id)
+}
+
+// ArenaOccupancy reports the fraction of the arena area's bytes under
+// the bump pointers of arenas holding live objects — the timeline
+// sampler's arena-occupancy signal.
+func (a *Arena) ArenaOccupancy() float64 {
+	a.init()
+	var used int64
+	for _, st := range a.arenas {
+		if st.count > 0 {
+			used += st.used
+		}
+	}
+	return float64(used) / float64(int64(a.NumArenas)*a.ArenaSize)
 }
 
 // PinnedArenas reports how many arenas currently hold at least one live

@@ -3,6 +3,7 @@ package heapsim
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -19,23 +20,39 @@ type BestFit struct {
 // NewBestFit returns a best-fit simulator with the default geometry.
 func NewBestFit() *BestFit {
 	b := &BestFit{}
-	b.ff.init()
+	b.init()
 	return b
+}
+
+// init names the embedded machinery before its defaults latch, so errors
+// and metrics say "bestfit" rather than "firstfit".
+func (b *BestFit) init() {
+	if !b.ff.initialized {
+		b.ff.name = "bestfit"
+	}
+	b.ff.init()
+}
+
+// Observe implements Observable.
+func (b *BestFit) Observe(col *obs.Collector) {
+	b.init()
+	b.ff.Observe(col)
 }
 
 // Alloc implements Allocator; the predictedShort hint is ignored.
 func (b *BestFit) Alloc(id trace.ObjectID, size int64, _ bool) error {
-	b.ff.init()
+	b.init()
 	if size <= 0 {
 		return fmt.Errorf("heapsim: non-positive allocation size %d", size)
 	}
 	if _, dup := b.ff.live[id]; dup {
-		return errDoubleAlloc(id)
+		return errDoubleAlloc(b.ff.name, id)
 	}
 	b.ff.ops.Allocs++
 	b.ff.ops.FFAllocs++
 	need := align(size+b.ff.Header, b.ff.Align)
 
+	probesBefore := b.ff.ops.FFProbes
 	blk := b.search(need)
 	if blk == nil {
 		b.ff.extend(need)
@@ -43,6 +60,10 @@ func (b *BestFit) Alloc(id trace.ObjectID, size int64, _ bool) error {
 		if blk == nil {
 			return fmt.Errorf("heapsim: internal error: no fit after extend for %d bytes", need)
 		}
+	}
+	if b.ff.obs != nil {
+		b.ff.obs.searchLen.Observe(b.ff.ops.FFProbes - probesBefore)
+		b.ff.obs.allocSize.Observe(size)
 	}
 	return b.commit(id, size, need, blk)
 }
@@ -53,6 +74,9 @@ func (b *BestFit) commit(id trace.ObjectID, size, need int64, blk *ffBlock) erro
 	ff := &b.ff
 	if blk.size-need >= ff.MinSplit {
 		ff.ops.FFSplits++
+		if ff.obs != nil {
+			ff.obs.splits.Inc()
+		}
 		rest := &ffBlock{addr: blk.addr + need, size: blk.size - need, free: true}
 		rest.aPrev, rest.aNext = blk, blk.aNext
 		if blk.aNext != nil {
@@ -109,7 +133,10 @@ func (b *BestFit) search(need int64) *ffBlock {
 }
 
 // Free implements Allocator (same O(1) coalescing as FirstFit).
-func (b *BestFit) Free(id trace.ObjectID) error { return b.ff.Free(id) }
+func (b *BestFit) Free(id trace.ObjectID) error {
+	b.init()
+	return b.ff.Free(id)
+}
 
 // HeapSize implements Allocator.
 func (b *BestFit) HeapSize() int64 { return b.ff.HeapSize() }

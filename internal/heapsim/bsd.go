@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/bits"
 
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -28,6 +29,14 @@ type BSD struct {
 	freeLists map[int][]int64 // bucket index -> addresses
 	live      map[trace.ObjectID]bsdObj
 	ops       OpCounts
+	obs       *bsdObs // nil unless a collector is attached
+}
+
+// bsdObs caches resolved metric handles for the hot paths.
+type bsdObs struct {
+	col     *obs.Collector
+	buckets *obs.Histogram // bucket index per allocation (linear)
+	carves  *obs.Counter
 }
 
 type bsdObj struct {
@@ -60,6 +69,20 @@ func (b *BSD) init() {
 	b.initialized = true
 }
 
+// Observe implements Observable.
+func (b *BSD) Observe(col *obs.Collector) {
+	b.init()
+	if col == nil {
+		b.obs = nil
+		return
+	}
+	b.obs = &bsdObs{
+		col:     col,
+		buckets: col.LinearHistogram("bsd.bucket", 1, 32),
+		carves:  col.Counter("bsd.carves"),
+	}
+}
+
 // bucketFor returns the bucket index (log2 of the chunk size) for a
 // request.
 func (b *BSD) bucketFor(size int64) int {
@@ -78,11 +101,14 @@ func (b *BSD) Alloc(id trace.ObjectID, size int64, _ bool) error {
 		return fmt.Errorf("heapsim: non-positive allocation size %d", size)
 	}
 	if _, dup := b.live[id]; dup {
-		return errDoubleAlloc(id)
+		return errDoubleAlloc("bsd", id)
 	}
 	bucket := b.bucketFor(size)
 	b.ops.Allocs++
 	b.ops.BSDBucketSum += int64(bucket)
+	if b.obs != nil {
+		b.obs.buckets.Observe(int64(bucket))
+	}
 
 	list := b.freeLists[bucket]
 	if len(list) == 0 {
@@ -90,6 +116,10 @@ func (b *BSD) Alloc(id trace.ObjectID, size int64, _ bool) error {
 		b.ops.BSDCarves++
 		chunk := int64(1) << bucket
 		slab := align(chunk, b.PageSize)
+		if b.obs != nil {
+			b.obs.carves.Inc()
+			b.obs.col.Emit(obs.EvHeapGrow, slab)
+		}
 		start := b.heapEnd
 		b.heapEnd += slab
 		for a := start; a+chunk <= start+slab; a += chunk {
@@ -108,7 +138,7 @@ func (b *BSD) Free(id trace.ObjectID) error {
 	b.init()
 	o, ok := b.live[id]
 	if !ok {
-		return errUnknownFree(id)
+		return errUnknownFree("bsd", id)
 	}
 	delete(b.live, id)
 	b.ops.Frees++

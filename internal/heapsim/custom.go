@@ -3,6 +3,7 @@ package heapsim
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -35,6 +36,13 @@ type Custom struct {
 	heapEnd     int64 // dedicated slab region (separate from General)
 	live        map[trace.ObjectID]customObj
 	ops         OpCounts
+	obs         *customObs // nil unless a collector is attached
+}
+
+// customObs caches resolved metric handles for the hot paths.
+type customObs struct {
+	col    *obs.Collector
+	carves *obs.Counter
 }
 
 type sizeClass struct {
@@ -68,7 +76,7 @@ func (c *Custom) init() {
 		c.SlabSize = 4 << 10
 	}
 	if c.General == nil {
-		c.General = NewFirstFit()
+		c.General = &FirstFit{name: "custom", prefix: "firstfit"}
 	}
 	c.hot = make(map[int64]*sizeClass, len(c.HotSizes))
 	for _, s := range c.HotSizes {
@@ -82,6 +90,18 @@ func (c *Custom) round(size int64) int64 {
 	return (size + c.Rounding - 1) / c.Rounding * c.Rounding
 }
 
+// Observe implements Observable; the collector also attaches to the
+// general fallback heap.
+func (c *Custom) Observe(col *obs.Collector) {
+	c.init()
+	c.General.Observe(col)
+	if col == nil {
+		c.obs = nil
+		return
+	}
+	c.obs = &customObs{col: col, carves: col.Counter("custom.carves")}
+}
+
 // Alloc implements Allocator; the predictedShort hint is ignored.
 func (c *Custom) Alloc(id trace.ObjectID, size int64, _ bool) error {
 	c.init()
@@ -89,7 +109,7 @@ func (c *Custom) Alloc(id trace.ObjectID, size int64, _ bool) error {
 		return fmt.Errorf("heapsim: non-positive allocation size %d", size)
 	}
 	if _, dup := c.live[id]; dup {
-		return errDoubleAlloc(id)
+		return errDoubleAlloc("custom", id)
 	}
 	rs := c.round(size)
 	class, ok := c.hot[rs]
@@ -107,6 +127,10 @@ func (c *Custom) Alloc(id trace.ObjectID, size int64, _ bool) error {
 		// implied by the owning list, one of CUSTOMALLOC's savings).
 		c.ops.BSDCarves++
 		slab := align(rs, c.SlabSize)
+		if c.obs != nil {
+			c.obs.carves.Inc()
+			c.obs.col.Emit(obs.EvHeapGrow, slab)
+		}
 		start := customBase + c.heapEnd
 		c.heapEnd += slab
 		for a := start; a+rs <= start+slab; a += rs {

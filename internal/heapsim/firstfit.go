@@ -3,6 +3,7 @@ package heapsim
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -34,9 +35,12 @@ type FirstFit struct {
 	RoverOnFree bool
 
 	initialized bool
+	name        string // names errors: "firstfit", "bestfit", or the composite that owns this heap
+	prefix      string // metric prefix; defaults to name, but a composite's fallback keeps "firstfit"
 	heapEnd     int64
 	maxHeapEnd  int64
 	liveBytes   int64
+	obs         *ffObs // nil unless a collector is attached
 
 	head, tail *ffBlock // address-ordered list of all blocks
 	freeHead   *ffBlock // circular free list
@@ -62,9 +66,45 @@ func NewFirstFit() *FirstFit {
 	return ff
 }
 
+// ffObs caches resolved metric handles so the hot paths pay one nil
+// check, not a registry lookup, per operation.
+type ffObs struct {
+	col       *obs.Collector
+	searchLen *obs.Histogram // free blocks probed per allocation (linear)
+	allocSize *obs.Histogram // requested sizes (log2)
+	splits    *obs.Counter
+	coalesces *obs.Counter
+	extends   *obs.Counter
+}
+
+// Observe implements Observable: metrics are prefixed with the
+// allocator's name ("firstfit", or "bestfit" when embedded there).
+func (ff *FirstFit) Observe(col *obs.Collector) {
+	ff.init()
+	if col == nil {
+		ff.obs = nil
+		return
+	}
+	p := ff.prefix
+	ff.obs = &ffObs{
+		col:       col,
+		searchLen: col.LinearHistogram(p+".search_len", 4, 64),
+		allocSize: col.Log2Histogram(p+".alloc_size", 24),
+		splits:    col.Counter(p + ".splits"),
+		coalesces: col.Counter(p + ".coalesces"),
+		extends:   col.Counter(p + ".extends"),
+	}
+}
+
 func (ff *FirstFit) init() {
 	if ff.initialized {
 		return
+	}
+	if ff.name == "" {
+		ff.name = "firstfit"
+	}
+	if ff.prefix == "" {
+		ff.prefix = ff.name
 	}
 	if ff.Align == 0 {
 		ff.Align = 8
@@ -122,6 +162,10 @@ func (ff *FirstFit) freeListRemove(b *ffBlock) {
 func (ff *FirstFit) extend(need int64) {
 	growth := align(need, ff.Chunk)
 	ff.ops.FFExtends++
+	if ff.obs != nil {
+		ff.obs.extends.Inc()
+		ff.obs.col.Emit(obs.EvHeapGrow, growth)
+	}
 	start := ff.heapEnd
 	ff.heapEnd += growth
 	if ff.heapEnd > ff.maxHeapEnd {
@@ -149,12 +193,13 @@ func (ff *FirstFit) Alloc(id trace.ObjectID, size int64, _ bool) error {
 		return fmt.Errorf("heapsim: non-positive allocation size %d", size)
 	}
 	if _, dup := ff.live[id]; dup {
-		return errDoubleAlloc(id)
+		return errDoubleAlloc(ff.name, id)
 	}
 	ff.ops.Allocs++
 	ff.ops.FFAllocs++
 	need := align(size+ff.Header, ff.Align)
 
+	probesBefore := ff.ops.FFProbes
 	b := ff.search(need)
 	if b == nil {
 		ff.extend(need)
@@ -163,10 +208,17 @@ func (ff *FirstFit) Alloc(id trace.ObjectID, size int64, _ bool) error {
 			return fmt.Errorf("heapsim: internal error: no fit after extend for %d bytes", need)
 		}
 	}
+	if ff.obs != nil {
+		ff.obs.searchLen.Observe(ff.ops.FFProbes - probesBefore)
+		ff.obs.allocSize.Observe(size)
+	}
 	// Allocate from the front of b; keep the tail free when the
 	// remainder is worth it.
 	if b.size-need >= ff.MinSplit {
 		ff.ops.FFSplits++
+		if ff.obs != nil {
+			ff.obs.splits.Inc()
+		}
 		rest := &ffBlock{addr: b.addr + need, size: b.size - need, free: true}
 		rest.aPrev, rest.aNext = b, b.aNext
 		if b.aNext != nil {
@@ -226,7 +278,7 @@ func (ff *FirstFit) Free(id trace.ObjectID) error {
 	ff.init()
 	b, ok := ff.live[id]
 	if !ok {
-		return errUnknownFree(id)
+		return errUnknownFree(ff.name, id)
 	}
 	delete(ff.live, id)
 	ff.liveBytes -= b.payload
@@ -237,6 +289,10 @@ func (ff *FirstFit) Free(id trace.ObjectID) error {
 	// Merge with the previous block.
 	if p := b.aPrev; p != nil && p.free {
 		ff.ops.FFCoalesces++
+		if ff.obs != nil {
+			ff.obs.coalesces.Inc()
+			ff.obs.col.Emit(obs.EvCoalesce, p.size+b.size)
+		}
 		p.size += b.size
 		p.aNext = b.aNext
 		if b.aNext != nil {
@@ -251,6 +307,10 @@ func (ff *FirstFit) Free(id trace.ObjectID) error {
 	// Merge with the next block.
 	if n := b.aNext; n != nil && n.free {
 		ff.ops.FFCoalesces++
+		if ff.obs != nil {
+			ff.obs.coalesces.Inc()
+			ff.obs.col.Emit(obs.EvCoalesce, b.size+n.size)
+		}
 		ff.freeListRemove(n)
 		b.size += n.size
 		b.aNext = n.aNext

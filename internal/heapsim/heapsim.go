@@ -22,6 +22,7 @@ package heapsim
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -73,13 +74,25 @@ type OpCounts struct {
 	ArenaObjects   int64 // == ArenaAllocs (kept for clarity in reports)
 }
 
-// errors shared by the simulators.
-func errDoubleAlloc(id trace.ObjectID) error {
-	return fmt.Errorf("heapsim: object %d allocated while already live", id)
+// Observable is implemented by simulators that can stream metrics and
+// structured events into an obs.Collector. Attaching a nil collector
+// detaches observation; the disabled path costs one pointer compare per
+// hook. core.RunSim attaches its optional collector through this
+// interface, so custom Allocator implementations opt in by implementing
+// it.
+type Observable interface {
+	Observe(*obs.Collector)
 }
 
-func errUnknownFree(id trace.ObjectID) error {
-	return fmt.Errorf("heapsim: free of unknown object %d", id)
+// errors shared by the simulators. Each carries the allocator's name so
+// multi-allocator comparison runs report which simulator rejected the
+// event.
+func errDoubleAlloc(alloc string, id trace.ObjectID) error {
+	return fmt.Errorf("heapsim: %s: object %d allocated while already live", alloc, id)
+}
+
+func errUnknownFree(alloc string, id trace.ObjectID) error {
+	return fmt.Errorf("heapsim: %s: free of unknown object %d", alloc, id)
 }
 
 func align(n, a int64) int64 { return (n + a - 1) / a * a }

@@ -3,6 +3,7 @@ package heapsim
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -55,6 +56,17 @@ type SiteArena struct {
 	strikes     map[uint64]int
 	demoted     map[uint64]bool
 	ops         OpCounts
+	obs         *siteArenaObs // nil unless a collector is attached
+}
+
+// siteArenaObs caches resolved metric handles for the hot paths.
+type siteArenaObs struct {
+	col       *obs.Collector
+	scanLen   *obs.Histogram // arenas examined per in-pool hunt (linear)
+	allocSize *obs.Histogram // pool-placed sizes (log2)
+	resets    *obs.Counter
+	fallbacks *obs.Counter
+	demotions *obs.Counter
 }
 
 type sitePool struct {
@@ -107,11 +119,30 @@ func (s *SiteArena) init() {
 	s.strikes = make(map[uint64]int)
 	s.demoted = make(map[uint64]bool)
 	if s.General == nil {
-		s.General = NewFirstFit()
+		s.General = &FirstFit{name: "sitearena", prefix: "firstfit"}
 	}
 	s.pools = make(map[uint64]*sitePool)
 	s.where = make(map[trace.ObjectID]siteLoc)
 	s.initialized = true
+}
+
+// Observe implements Observable; the collector also attaches to the
+// general fallback heap.
+func (s *SiteArena) Observe(col *obs.Collector) {
+	s.init()
+	s.General.Observe(col)
+	if col == nil {
+		s.obs = nil
+		return
+	}
+	s.obs = &siteArenaObs{
+		col:       col,
+		scanLen:   col.LinearHistogram("sitearena.scan_len", 1, 16),
+		allocSize: col.Log2Histogram("sitearena.alloc_size", 16),
+		resets:    col.Counter("sitearena.resets"),
+		fallbacks: col.Counter("sitearena.fallbacks"),
+		demotions: col.Counter("sitearena.demotions"),
+	}
 }
 
 // AllocAt places an object predicted short-lived at the given site key
@@ -151,6 +182,11 @@ func (s *SiteArena) AllocAt(id trace.ObjectID, size int64, site uint64) error {
 				pool.cur = idx
 				pool.arenas[idx].used = 0
 				s.ops.ArenaResets++
+				if s.obs != nil {
+					s.obs.scanLen.Observe(int64(i))
+					s.obs.resets.Inc()
+					s.obs.col.Emit(obs.EvArenaReuse, int64(pool.index))
+				}
 				found = true
 				break
 			}
@@ -168,9 +204,18 @@ func (s *SiteArena) AllocAt(id trace.ObjectID, size int64, site uint64) error {
 						if s.strikes[owner] >= s.DemoteAfter {
 							s.demoted[owner] = true
 							s.ops.ArenaDemotions++
+							if s.obs != nil {
+								s.obs.demotions.Inc()
+								s.obs.col.Emit(obs.EvPredictorMiss, int64(owner))
+							}
 						}
 					}
 				}
+			}
+			if s.obs != nil {
+				s.obs.scanLen.Observe(int64(len(pool.arenas)))
+				s.obs.fallbacks.Inc()
+				s.obs.col.Emit(obs.EvArenaOverflow, size)
 			}
 			return s.generalAlloc(id, size, true)
 		}
@@ -187,6 +232,9 @@ func (s *SiteArena) AllocAt(id trace.ObjectID, size int64, site uint64) error {
 	s.ops.ArenaAllocs++
 	s.ops.ArenaObjects++
 	s.ops.ArenaBytes += size
+	if s.obs != nil {
+		s.obs.allocSize.Observe(size)
+	}
 	return nil
 }
 
@@ -203,7 +251,7 @@ func (s *SiteArena) Alloc(id trace.ObjectID, size int64, predictedShort bool) er
 
 func (s *SiteArena) generalAlloc(id trace.ObjectID, size int64, fallback bool) error {
 	if _, dup := s.where[id]; dup {
-		return errDoubleAlloc(id)
+		return errDoubleAlloc("sitearena", id)
 	}
 	if err := s.General.Alloc(id, size, false); err != nil {
 		return err
@@ -281,6 +329,25 @@ func (s *SiteArena) Addr(id trace.ObjectID) (int64, bool) {
 		return poolBase + int64(loc.idx)*s.ArenaSize + loc.off, true
 	}
 	return s.General.Addr(id)
+}
+
+// ArenaOccupancy reports the fraction of the reserved pool area's bytes
+// under the bump pointers of arenas holding live objects.
+func (s *SiteArena) ArenaOccupancy() float64 {
+	s.init()
+	area := s.ArenaArea()
+	if area == 0 {
+		return 0
+	}
+	var used int64
+	for _, pool := range s.pools {
+		for _, a := range pool.arenas {
+			if a.count > 0 {
+				used += a.used
+			}
+		}
+	}
+	return float64(used) / float64(area)
 }
 
 // PinnedPools reports how many site pools currently have every arena

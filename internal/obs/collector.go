@@ -1,0 +1,253 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Options configures a Collector.
+type Options struct {
+	// Label tags the snapshot (conventionally "program/allocator").
+	Label string
+	// TimelineInterval is the sampling cadence in bytes allocated:
+	// 0 uses DefaultTimelineInterval, negative disables the timeline.
+	TimelineInterval int64
+	// EventCap bounds the retained raw-event window (0 uses
+	// DefaultEventCap); per-kind event counts are always exact.
+	EventCap int
+	// Sink overrides the default MemorySink (e.g. NopSink to keep
+	// counters but drop events). When set, the snapshot's event summary
+	// is empty unless the sink is a *MemorySink.
+	Sink EventSink
+}
+
+// Collector bundles a metric registry, a timeline, and an event sink,
+// plus the bytes-allocated clock that stamps events and samples. One
+// Collector observes one replay; attach it via core.RunSim's optional
+// trailing argument (or heapsim's Observable interface directly).
+//
+// All methods are safe on a nil *Collector — they no-op or return zero
+// values — so call sites can hold an optional collector without guards.
+// Hot paths should still cache resolved Counter/Histogram handles and
+// branch on the collector pointer once.
+type Collector struct {
+	Label string
+
+	reg      *Registry
+	timeline *Timeline
+	sink     EventSink
+	mem      *MemorySink // non-nil when sink is the default MemorySink
+	clock    atomic.Int64
+
+	mu     sync.Mutex
+	phases []PhaseSnapshot
+	sites  []SiteBytes
+}
+
+// NewCollector returns a collector with the given options.
+func NewCollector(opts Options) *Collector {
+	c := &Collector{Label: opts.Label, reg: NewRegistry()}
+	if opts.TimelineInterval >= 0 {
+		c.timeline = NewTimeline(opts.TimelineInterval)
+	}
+	if opts.Sink != nil {
+		c.sink = opts.Sink
+		if m, ok := opts.Sink.(*MemorySink); ok {
+			c.mem = m
+		}
+	} else {
+		c.mem = NewMemorySink(opts.EventCap)
+		c.sink = c.mem
+	}
+	return c
+}
+
+// Registry returns the collector's metric registry (nil-safe).
+func (c *Collector) Registry() *Registry {
+	if c == nil {
+		return nil
+	}
+	return c.reg
+}
+
+// Counter resolves a named counter (nil-safe: returns nil).
+func (c *Collector) Counter(name string) *Counter {
+	if c == nil {
+		return nil
+	}
+	return c.reg.Counter(name)
+}
+
+// Gauge resolves a named gauge (nil-safe: returns nil).
+func (c *Collector) Gauge(name string) *Gauge {
+	if c == nil {
+		return nil
+	}
+	return c.reg.Gauge(name)
+}
+
+// Log2Histogram resolves a named log2 histogram (nil-safe: returns nil).
+func (c *Collector) Log2Histogram(name string, buckets int) *Histogram {
+	if c == nil {
+		return nil
+	}
+	return c.reg.Log2Histogram(name, buckets)
+}
+
+// LinearHistogram resolves a named linear histogram (nil-safe: returns
+// nil).
+func (c *Collector) LinearHistogram(name string, width int64, buckets int) *Histogram {
+	if c == nil {
+		return nil
+	}
+	return c.reg.LinearHistogram(name, width, buckets)
+}
+
+// SetClock advances the bytes-allocated clock; the replay loop calls this
+// after each allocation so events carry a meaningful timestamp.
+func (c *Collector) SetClock(v int64) {
+	if c == nil {
+		return
+	}
+	c.clock.Store(v)
+}
+
+// Now returns the current bytes-allocated clock.
+func (c *Collector) Now() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.clock.Load()
+}
+
+// Emit stamps and forwards a structured event.
+func (c *Collector) Emit(kind EventKind, arg int64) {
+	if c == nil {
+		return
+	}
+	c.sink.Event(Event{Kind: kind, Clock: c.clock.Load(), Arg: arg})
+}
+
+// TimelineDue reports whether the timeline wants a sample at the given
+// clock (false when the timeline is disabled).
+func (c *Collector) TimelineDue(clock int64) bool {
+	if c == nil || c.timeline == nil {
+		return false
+	}
+	return c.timeline.Due(clock)
+}
+
+// RecordSample appends a timeline sample.
+func (c *Collector) RecordSample(s Sample) {
+	if c == nil || c.timeline == nil {
+		return
+	}
+	c.timeline.Record(s)
+}
+
+// MarkPhase snapshots every counter under a phase label; core marks
+// replay quartiles so lpstats can show how counts accrued across a run.
+func (c *Collector) MarkPhase(label string) {
+	if c == nil {
+		return
+	}
+	p := PhaseSnapshot{Label: label, Clock: c.clock.Load(), Counters: c.reg.CounterValues()}
+	c.mu.Lock()
+	c.phases = append(c.phases, p)
+	c.mu.Unlock()
+}
+
+// SetSites attaches the per-site allocation ranking (top sites by bytes);
+// core computes it during an observed replay.
+func (c *Collector) SetSites(sites []SiteBytes) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.sites = sites
+	c.mu.Unlock()
+}
+
+// Snapshot freezes the collector's state for export. The collector
+// remains usable; snapshots are cheap relative to a replay.
+func (c *Collector) Snapshot() *Snapshot {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	phases := make([]PhaseSnapshot, len(c.phases))
+	copy(phases, c.phases)
+	sites := make([]SiteBytes, len(c.sites))
+	copy(sites, c.sites)
+	c.mu.Unlock()
+
+	s := &Snapshot{
+		Label:      c.Label,
+		Clock:      c.clock.Load(),
+		Counters:   c.reg.CounterValues(),
+		Gauges:     c.reg.GaugeValues(),
+		Histograms: c.reg.HistogramValues(),
+		Phases:     phases,
+		Sites:      sites,
+	}
+	if c.timeline != nil {
+		s.Timeline = c.timeline.Samples()
+		s.TimelineInterval = c.timeline.Interval()
+	}
+	if c.mem != nil {
+		s.Events = EventSummary{
+			Counts:  c.mem.Counts(),
+			Recent:  c.mem.Recent(),
+			Dropped: c.mem.Dropped(),
+		}
+	}
+	return s
+}
+
+// GaugeSnapshot is the exported form of a Gauge.
+type GaugeSnapshot struct {
+	Value int64 `json:"value"`
+	Max   int64 `json:"max"`
+}
+
+// PhaseSnapshot is a labeled counter snapshot taken mid-run.
+type PhaseSnapshot struct {
+	Label    string           `json:"label"`
+	Clock    int64            `json:"clock"`
+	Counters map[string]int64 `json:"counters"`
+}
+
+// SiteBytes ranks one allocation site by volume.
+type SiteBytes struct {
+	Site   string `json:"site"` // rendered call-chain
+	Allocs int64  `json:"allocs"`
+	Bytes  int64  `json:"bytes"`
+}
+
+// EventSummary is the exported form of the event stream: exact per-kind
+// totals plus the retained raw window.
+type EventSummary struct {
+	Counts  map[string]int64 `json:"counts,omitempty"`
+	Recent  []Event          `json:"recent,omitempty"`
+	Dropped int64            `json:"dropped,omitempty"`
+}
+
+// Snapshot is a complete, serializable view of one observed run. It is
+// what `lpsim -obs` writes and `lpstats` renders.
+type Snapshot struct {
+	Label     string `json:"label,omitempty"`
+	Program   string `json:"program,omitempty"`
+	Allocator string `json:"allocator,omitempty"`
+	Clock     int64  `json:"clock"` // total bytes allocated
+
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]GaugeSnapshot     `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+
+	Timeline         []Sample `json:"timeline,omitempty"`
+	TimelineInterval int64    `json:"timeline_interval,omitempty"`
+
+	Events EventSummary    `json:"events"`
+	Phases []PhaseSnapshot `json:"phases,omitempty"`
+	Sites  []SiteBytes     `json:"sites,omitempty"`
+}

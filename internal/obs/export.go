@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// WriteJSON writes a snapshot as indented JSON (the `lpsim -obs` format).
+func WriteJSON(w io.Writer, s *Snapshot) error {
+	if s == nil {
+		return fmt.Errorf("obs: nil snapshot")
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// ReadJSON reads a snapshot written by WriteJSON.
+func ReadJSON(r io.Reader) (*Snapshot, error) {
+	var s Snapshot
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("obs: decoding snapshot: %w", err)
+	}
+	return &s, nil
+}
+
+var timelineHeader = []string{
+	"clock", "live_bytes", "live_objects", "heap_bytes", "arena_occupancy",
+}
+
+// WriteTimelineCSV writes the snapshot's timeline as CSV with a header
+// row, one sample per line.
+func WriteTimelineCSV(w io.Writer, s *Snapshot) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(timelineHeader); err != nil {
+		return err
+	}
+	for _, sm := range s.Timeline {
+		rec := []string{
+			strconv.FormatInt(sm.Clock, 10),
+			strconv.FormatInt(sm.LiveBytes, 10),
+			strconv.FormatInt(sm.LiveObjects, 10),
+			strconv.FormatInt(sm.HeapBytes, 10),
+			strconv.FormatFloat(sm.ArenaOccupancy, 'g', -1, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadTimelineCSV reads samples written by WriteTimelineCSV.
+func ReadTimelineCSV(r io.Reader) ([]Sample, error) {
+	cr := csv.NewReader(r)
+	recs, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("obs: reading timeline CSV: %w", err)
+	}
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("obs: timeline CSV missing header")
+	}
+	if len(recs[0]) != len(timelineHeader) || recs[0][0] != timelineHeader[0] {
+		return nil, fmt.Errorf("obs: unexpected timeline CSV header %v", recs[0])
+	}
+	out := make([]Sample, 0, len(recs)-1)
+	for i, rec := range recs[1:] {
+		var sm Sample
+		var err error
+		if sm.Clock, err = strconv.ParseInt(rec[0], 10, 64); err == nil {
+			if sm.LiveBytes, err = strconv.ParseInt(rec[1], 10, 64); err == nil {
+				if sm.LiveObjects, err = strconv.ParseInt(rec[2], 10, 64); err == nil {
+					if sm.HeapBytes, err = strconv.ParseInt(rec[3], 10, 64); err == nil {
+						sm.ArenaOccupancy, err = strconv.ParseFloat(rec[4], 64)
+					}
+				}
+			}
+		}
+		if err != nil {
+			return nil, fmt.Errorf("obs: timeline CSV row %d: %w", i+2, err)
+		}
+		out = append(out, sm)
+	}
+	return out, nil
+}
+
+// WriteCountersCSV writes every counter (and each gauge's value and max)
+// as `name,value` rows, sorted by name.
+func WriteCountersCSV(w io.Writer, s *Snapshot) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"name", "value"}); err != nil {
+		return err
+	}
+	rows := make([][2]string, 0, len(s.Counters)+2*len(s.Gauges))
+	for name, v := range s.Counters {
+		rows = append(rows, [2]string{name, strconv.FormatInt(v, 10)})
+	}
+	for name, g := range s.Gauges {
+		rows = append(rows, [2]string{name, strconv.FormatInt(g.Value, 10)})
+		rows = append(rows, [2]string{name + ".max", strconv.FormatInt(g.Max, 10)})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i][0] < rows[j][0] })
+	for _, r := range rows {
+		if err := cw.Write(r[:]); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCountersCSV reads rows written by WriteCountersCSV into a map.
+func ReadCountersCSV(r io.Reader) (map[string]int64, error) {
+	cr := csv.NewReader(r)
+	recs, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("obs: reading counters CSV: %w", err)
+	}
+	if len(recs) == 0 || len(recs[0]) != 2 || recs[0][0] != "name" {
+		return nil, fmt.Errorf("obs: unexpected counters CSV header")
+	}
+	out := make(map[string]int64, len(recs)-1)
+	for i, rec := range recs[1:] {
+		v, err := strconv.ParseInt(rec[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("obs: counters CSV row %d: %w", i+2, err)
+		}
+		out[rec[0]] = v
+	}
+	return out, nil
+}

@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// buildSnapshot exercises every Snapshot field through the public API.
+func buildSnapshot() *Snapshot {
+	c := NewCollector(Options{Label: "gawk/arena", TimelineInterval: 100})
+	c.Counter("arena.resets").Add(7)
+	c.Counter("firstfit.splits").Add(3)
+	c.Gauge("arena.pinned").Set(2)
+	c.Gauge("arena.pinned").Set(1)
+	h := c.Log2Histogram("arena.alloc_size", 8)
+	for _, v := range []int64{8, 16, 16, 300} {
+		h.Observe(v)
+	}
+	lh := c.LinearHistogram("arena.scan_len", 1, 4)
+	lh.Observe(2)
+	c.SetClock(100)
+	c.Emit(EvArenaReuse, 3)
+	c.RecordSample(Sample{Clock: 100, LiveBytes: 40, LiveObjects: 2, HeapBytes: 128, ArenaOccupancy: 0.25})
+	c.MarkPhase("50%")
+	c.SetClock(250)
+	c.Emit(EvHeapGrow, 4096)
+	c.RecordSample(Sample{Clock: 250, LiveBytes: 80, LiveObjects: 4, HeapBytes: 256, ArenaOccupancy: 0.5})
+	c.MarkPhase("end")
+	c.SetSites([]SiteBytes{
+		{Site: "main>parse>alloc", Allocs: 10, Bytes: 400},
+		{Site: "main>eval>alloc", Allocs: 5, Bytes: 100},
+	})
+	s := c.Snapshot()
+	s.Program = "gawk"
+	s.Allocator = "arena"
+	return s
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	want := buildSnapshot()
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, want); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatalf("ReadJSON: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestWriteJSONNil(t *testing.T) {
+	if err := WriteJSON(&bytes.Buffer{}, nil); err == nil {
+		t.Error("WriteJSON(nil) succeeded")
+	}
+}
+
+func TestReadJSONGarbage(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("not json")); err == nil {
+		t.Error("ReadJSON of garbage succeeded")
+	}
+}
+
+func TestTimelineCSVRoundTrip(t *testing.T) {
+	s := buildSnapshot()
+	var buf bytes.Buffer
+	if err := WriteTimelineCSV(&buf, s); err != nil {
+		t.Fatalf("WriteTimelineCSV: %v", err)
+	}
+	got, err := ReadTimelineCSV(&buf)
+	if err != nil {
+		t.Fatalf("ReadTimelineCSV: %v", err)
+	}
+	if !reflect.DeepEqual(got, s.Timeline) {
+		t.Errorf("timeline round trip:\n got %+v\nwant %+v", got, s.Timeline)
+	}
+}
+
+func TestTimelineCSVBadHeader(t *testing.T) {
+	if _, err := ReadTimelineCSV(strings.NewReader("a,b\n1,2\n")); err == nil {
+		t.Error("bad header accepted")
+	}
+	if _, err := ReadTimelineCSV(strings.NewReader("")); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestCountersCSVRoundTrip(t *testing.T) {
+	s := buildSnapshot()
+	var buf bytes.Buffer
+	if err := WriteCountersCSV(&buf, s); err != nil {
+		t.Fatalf("WriteCountersCSV: %v", err)
+	}
+	got, err := ReadCountersCSV(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadCountersCSV: %v", err)
+	}
+	for name, v := range s.Counters {
+		if got[name] != v {
+			t.Errorf("counter %s = %d, want %d", name, got[name], v)
+		}
+	}
+	for name, g := range s.Gauges {
+		if got[name] != g.Value {
+			t.Errorf("gauge %s = %d, want %d", name, got[name], g.Value)
+		}
+		if got[name+".max"] != g.Max {
+			t.Errorf("gauge %s.max = %d, want %d", name, got[name+".max"], g.Max)
+		}
+	}
+	// Rows must come out sorted by name.
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	for i := 2; i < len(lines); i++ {
+		if lines[i] < lines[i-1] {
+			t.Errorf("counters CSV not sorted: %q after %q", lines[i], lines[i-1])
+		}
+	}
+}

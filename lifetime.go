@@ -49,6 +49,7 @@ import (
 	"repro/internal/costmodel"
 	"repro/internal/gcsim"
 	"repro/internal/heapsim"
+	"repro/internal/obs"
 	"repro/internal/profile"
 	"repro/internal/synth"
 	"repro/internal/trace"
@@ -95,6 +96,8 @@ type (
 	Allocator = heapsim.Allocator
 	// FirstFitAllocator simulates Knuth's first-fit with a roving pointer.
 	FirstFitAllocator = heapsim.FirstFit
+	// BestFitAllocator simulates best-fit over the same free list.
+	BestFitAllocator = heapsim.BestFit
 	// BSDAllocator simulates the 4.2BSD power-of-two malloc.
 	BSDAllocator = heapsim.BSD
 	// ArenaAllocator simulates the paper's lifetime-predicting allocator.
@@ -131,6 +134,16 @@ type (
 	Artifacts = core.Artifacts
 	// SimResult summarizes one allocator simulation.
 	SimResult = core.SimResult
+
+	// ObsCollector records metrics, a timeline, and structured events
+	// from an observed simulation; pass one as Simulate's optional
+	// trailing argument.
+	ObsCollector = obs.Collector
+	// ObsOptions configures an ObsCollector.
+	ObsOptions = obs.Options
+	// ObsSnapshot is a serializable view of one observed run (what
+	// `lpsim -obs` writes and `lpstats` renders).
+	ObsSnapshot = obs.Snapshot
 )
 
 // The two inputs every workload model defines.
@@ -202,6 +215,10 @@ func LifetimeQuantiles(objs []Object, probs []float64, byteWeighted bool) []floa
 // geometry (8-byte header and alignment, 8KB growth chunks).
 func NewFirstFitAllocator() *FirstFitAllocator { return heapsim.NewFirstFit() }
 
+// NewBestFitAllocator returns a best-fit simulator sharing the first-fit
+// geometry.
+func NewBestFitAllocator() *BestFitAllocator { return heapsim.NewBestFit() }
+
 // NewBSDAllocator returns a 4.2BSD malloc simulator.
 func NewBSDAllocator() *BSDAllocator { return heapsim.NewBSD() }
 
@@ -214,16 +231,31 @@ func NewArenaAllocator() *ArenaAllocator { return heapsim.NewArena() }
 func NewSiteArenaAllocator() *SiteArenaAllocator { return heapsim.NewSiteArena() }
 
 // SimulateSited replays a trace through the per-site arena allocator,
-// routing each predicted-short allocation to its own site's pool.
-func SimulateSited(tr *Trace, alloc *SiteArenaAllocator, pred *Predictor) (SimResult, error) {
-	return core.RunSimSited(tr, alloc, pred)
+// routing each predicted-short allocation to its own site's pool. An
+// optional trailing ObsCollector records metrics and events.
+func SimulateSited(tr *Trace, alloc *SiteArenaAllocator, pred *Predictor, observers ...*ObsCollector) (SimResult, error) {
+	return core.RunSimSited(tr, alloc, pred, observers...)
 }
 
 // Simulate replays a trace through an allocator; a non-nil predictor
-// drives the predicted-short hint at each allocation.
-func Simulate(tr *Trace, alloc Allocator, pred *Predictor) (SimResult, error) {
-	return core.RunSim(tr, alloc, pred)
+// drives the predicted-short hint at each allocation. An optional
+// trailing ObsCollector records metrics, a timeline, and structured
+// events into SimResult.Obs; without one, behaviour and results are
+// identical to the uninstrumented replay.
+func Simulate(tr *Trace, alloc Allocator, pred *Predictor, observers ...*ObsCollector) (SimResult, error) {
+	return core.RunSim(tr, alloc, pred, observers...)
 }
+
+// NewObsCollector returns an observability collector; see ObsOptions for
+// the timeline cadence and event-window knobs.
+func NewObsCollector(opts ObsOptions) *ObsCollector { return obs.NewCollector(opts) }
+
+// WriteObsJSON writes an observability snapshot as JSON (the `lpsim
+// -obs` format, rendered by `lpstats`).
+func WriteObsJSON(w io.Writer, s *ObsSnapshot) error { return obs.WriteJSON(w, s) }
+
+// ReadObsJSON reads a snapshot written by WriteObsJSON.
+func ReadObsJSON(r io.Reader) (*ObsSnapshot, error) { return obs.ReadJSON(r) }
 
 // DefaultCostParams returns the paper-anchored instruction estimates.
 func DefaultCostParams() CostParams { return costmodel.DefaultParams() }
