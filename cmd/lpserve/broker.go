@@ -1,0 +1,107 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// broker fans live observability out to SSE subscribers. Publishers are
+// the replay workers' collector hooks, which must never block: a slow
+// subscriber's buffer fills and subsequent messages are dropped for it
+// (counted, and reported when the stream closes).
+type broker struct {
+	mu     sync.Mutex
+	subs   map[*subscriber]bool
+	closed bool
+}
+
+type subscriber struct {
+	ch      chan []byte
+	dropped int64
+}
+
+// subBuffer is each subscriber's in-flight message window.
+const subBuffer = 256
+
+func newBroker() *broker {
+	return &broker{subs: make(map[*subscriber]bool)}
+}
+
+func (b *broker) subscribe() *subscriber {
+	sub := &subscriber{ch: make(chan []byte, subBuffer)}
+	b.mu.Lock()
+	if b.closed {
+		close(sub.ch)
+	} else {
+		b.subs[sub] = true
+	}
+	b.mu.Unlock()
+	return sub
+}
+
+func (b *broker) unsubscribe(sub *subscriber) {
+	b.mu.Lock()
+	if b.subs[sub] {
+		delete(b.subs, sub)
+		close(sub.ch)
+	}
+	b.mu.Unlock()
+}
+
+// closeAll releases every subscriber (server drain).
+func (b *broker) closeAll() {
+	b.mu.Lock()
+	b.closed = true
+	for sub := range b.subs {
+		delete(b.subs, sub)
+		close(sub.ch)
+	}
+	b.mu.Unlock()
+}
+
+// publish formats one SSE frame and offers it to every subscriber.
+func (b *broker) publish(event string, payload any) {
+	data, err := json.Marshal(payload)
+	if err != nil {
+		return
+	}
+	var frame bytes.Buffer
+	fmt.Fprintf(&frame, "event: %s\ndata: %s\n\n", event, data)
+	msg := frame.Bytes()
+	b.mu.Lock()
+	for sub := range b.subs {
+		select {
+		case sub.ch <- msg:
+		default:
+			sub.dropped++
+		}
+	}
+	b.mu.Unlock()
+}
+
+// publishJob announces a job lifecycle transition.
+func (b *broker) publishJob(j *job) {
+	b.publish("job", j.view())
+}
+
+// publishSample streams one timeline sample as it is recorded.
+func (b *broker) publishSample(jobID int, s obs.Sample) {
+	b.publish("sample", struct {
+		Job int `json:"job"`
+		obs.Sample
+	}{jobID, s})
+}
+
+// publishEvent streams one structured replay event as it happens.
+func (b *broker) publishEvent(jobID int, ev obs.Event) {
+	b.publish("obs", struct {
+		Job   int    `json:"job"`
+		Kind  string `json:"kind"`
+		Clock int64  `json:"clock"`
+		Arg   int64  `json:"arg"`
+	}{jobID, ev.Kind.String(), ev.Clock, ev.Arg})
+}

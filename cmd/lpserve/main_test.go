@@ -1,0 +1,384 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/obs/expfmt"
+)
+
+func testServer(t *testing.T) (*server, *httptest.Server) {
+	t.Helper()
+	srv := newServer(core.DefaultConfig(0.02), 2)
+	ts := httptest.NewServer(srv.routes())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+// waitDone polls /jobs until every job has left the queue, failing the
+// test on timeout.
+func waitDone(t *testing.T, ts *httptest.Server) []jobView {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/jobs")
+		if err != nil {
+			t.Fatalf("GET /jobs: %v", err)
+		}
+		var views []jobView
+		err = json.NewDecoder(resp.Body).Decode(&views)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("decode /jobs: %v", err)
+		}
+		settled := true
+		for _, v := range views {
+			if v.Status == statusQueued || v.Status == statusRunning {
+				settled = false
+			}
+		}
+		if settled {
+			return views
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("jobs did not settle: %+v", views)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := testServer(t)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status = %d", resp.StatusCode)
+	}
+	var body struct {
+		Status string         `json:"status"`
+		Jobs   map[string]int `json:"jobs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Status != "ok" {
+		t.Errorf("status = %q, want ok", body.Status)
+	}
+	if body.Jobs["done"] != 0 || body.Jobs["queued"] != 0 {
+		t.Errorf("fresh server has jobs: %v", body.Jobs)
+	}
+}
+
+func TestRunJobLifecycle(t *testing.T) {
+	_, ts := testServer(t)
+
+	resp, err := http.Post(ts.URL+"/run", "application/json",
+		strings.NewReader(`{"model":"gawk","allocator":"arena"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var accepted jobView
+	err = json.NewDecoder(resp.Body).Decode(&accepted)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /run status = %d, want 202", resp.StatusCode)
+	}
+	if accepted.ID != 1 || accepted.Spec.Predictor != "true" {
+		t.Errorf("accepted job = %+v, want id 1 with default predictor", accepted)
+	}
+
+	// Unknown model is a 400, not a queued failure.
+	resp, err = http.Post(ts.URL+"/run", "application/json",
+		strings.NewReader(`{"model":"doom","allocator":"arena"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad model status = %d, want 400", resp.StatusCode)
+	}
+
+	views := waitDone(t, ts)
+	if len(views) != 1 || views[0].Status != statusDone {
+		t.Fatalf("jobs after drain = %+v", views)
+	}
+	if views[0].Clock <= 0 {
+		t.Errorf("done job clock = %d, want > 0", views[0].Clock)
+	}
+}
+
+func TestMetricsRoundTripExact(t *testing.T) {
+	_, ts := testServer(t)
+	for _, body := range []string{
+		`{"model":"gawk","allocator":"arena"}`,
+		`{"model":"cfrac","allocator":"firstfit","predictor":"none"}`,
+	} {
+		resp, err := http.Post(ts.URL+"/run", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	waitDone(t, ts)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	var raw bytes.Buffer
+	if _, err := raw.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	text := raw.String()
+	for _, want := range []string{
+		`lp_clock_bytes{allocator="arena",job="1",program="gawk"}`,
+		`lp_clock_bytes{allocator="firstfit",job="2",program="cfrac"}`,
+		"# TYPE lp_clock_bytes counter",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition is missing %q", want)
+		}
+	}
+	if n := strings.Count(text, "# TYPE lp_clock_bytes counter"); n != 1 {
+		t.Errorf("lp_clock_bytes TYPE line appears %d times, want 1 (Gather merge)", n)
+	}
+
+	// The exposition must survive a parse → re-render byte-exactly.
+	fams, err := expfmt.Parse(bytes.NewReader(raw.Bytes()))
+	if err != nil {
+		t.Fatalf("Parse(/metrics): %v", err)
+	}
+	var rendered bytes.Buffer
+	if err := expfmt.WriteFamilies(&rendered, fams); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw.Bytes(), rendered.Bytes()) {
+		t.Error("/metrics does not round-trip byte-exactly through the parser")
+	}
+}
+
+// TestMetricsLiveMidReplay scrapes while jobs are in flight: the
+// exposition must stay parseable and every re-render byte-exact even as
+// collectors advance under the scrape.
+func TestMetricsLiveMidReplay(t *testing.T) {
+	_, ts := testServer(t)
+	for _, body := range []string{
+		`{"model":"gawk","allocator":"arena"}`,
+		`{"model":"gawk","allocator":"bestfit"}`,
+		`{"model":"perl","allocator":"bsd"}`,
+	} {
+		resp, err := http.Post(ts.URL+"/run", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	sawLive := false
+	for i := 0; i < 50; i++ {
+		resp, err := http.Get(ts.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var raw bytes.Buffer
+		_, err = raw.ReadFrom(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if raw.Len() == 0 {
+			continue
+		}
+		fams, err := expfmt.Parse(bytes.NewReader(raw.Bytes()))
+		if err != nil {
+			t.Fatalf("scrape %d unparseable: %v", i, err)
+		}
+		var rendered bytes.Buffer
+		if err := expfmt.WriteFamilies(&rendered, fams); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(raw.Bytes(), rendered.Bytes()) {
+			t.Fatalf("scrape %d not byte-exact after re-render", i)
+		}
+		if strings.Contains(raw.String(), "lp_clock_bytes") {
+			sawLive = true
+		}
+	}
+	if !sawLive {
+		t.Error("no scrape observed a started job (all 50 raced ahead of the workers?)")
+	}
+	waitDone(t, ts)
+}
+
+func TestSnapshotEndpoint(t *testing.T) {
+	_, ts := testServer(t)
+	resp, err := http.Post(ts.URL+"/run", "application/json",
+		strings.NewReader(`{"model":"gawk","allocator":"arena"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	waitDone(t, ts)
+
+	resp, err = http.Get(ts.URL + "/snapshot/1.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("snapshot status = %d", resp.StatusCode)
+	}
+	snap, err := obs.ReadJSON(resp.Body)
+	if err != nil {
+		t.Fatalf("snapshot does not decode: %v", err)
+	}
+	if snap.Schema != obs.SnapshotSchema || snap.Program != "gawk" || snap.Allocator != "arena" {
+		t.Errorf("snapshot = schema %d program %q allocator %q", snap.Schema, snap.Program, snap.Allocator)
+	}
+	if snap.Clock <= 0 {
+		t.Errorf("snapshot clock = %d, want > 0", snap.Clock)
+	}
+
+	for _, path := range []string{"/snapshot/99.json", "/snapshot/1", "/snapshot/x.json"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s status = %d, want 404", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestEventsStream(t *testing.T) {
+	srv, ts := testServer(t)
+
+	req, err := http.NewRequest("GET", ts.URL+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+
+	post, err := http.Post(ts.URL+"/run", "application/json",
+		strings.NewReader(`{"model":"gawk","allocator":"arena"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	post.Body.Close()
+
+	// Read frames until the job reports done; the stream must carry job
+	// transitions and at least one live sample.
+	sc := bufio.NewScanner(resp.Body)
+	events := map[string]int{}
+	var lastData string
+	done := false
+	for !done && sc.Scan() {
+		line := sc.Text()
+		if ev, ok := strings.CutPrefix(line, "event: "); ok {
+			events[ev]++
+		}
+		if data, ok := strings.CutPrefix(line, "data: "); ok {
+			lastData = data
+			if strings.Contains(data, `"status":"done"`) {
+				done = true
+			}
+		}
+	}
+	if !done {
+		t.Fatalf("stream ended before the job finished (last data %q, err %v)", lastData, sc.Err())
+	}
+	if events["job"] < 2 {
+		t.Errorf("saw %d job transitions, want >= 2 (queued/running/done)", events["job"])
+	}
+	if events["sample"] == 0 {
+		t.Error("no timeline samples streamed")
+	}
+
+	// Drain: the server must release remaining subscribers.
+	srv.shutdown()
+	drainDeadline := time.After(5 * time.Second)
+	finished := make(chan struct{})
+	go func() {
+		for sc.Scan() {
+		}
+		close(finished)
+	}()
+	select {
+	case <-finished:
+	case <-drainDeadline:
+		t.Fatal("SSE stream did not close on shutdown")
+	}
+}
+
+func TestShutdownDrainsQueuedJobs(t *testing.T) {
+	srv, ts := testServer(t)
+	for i := 0; i < 3; i++ {
+		resp, err := http.Post(ts.URL+"/run", "application/json",
+			strings.NewReader(`{"model":"gawk","allocator":"arena"}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("POST %d status = %d", i, resp.StatusCode)
+		}
+	}
+	srv.shutdown()
+
+	// Every accepted job ran to completion before shutdown returned.
+	for _, j := range srv.jobList() {
+		j.mu.Lock()
+		st := j.status
+		j.mu.Unlock()
+		if st != statusDone {
+			t.Errorf("job %d status after drain = %s, want done", j.ID, st)
+		}
+	}
+
+	// New submissions are refused with 503.
+	resp, err := http.Post(ts.URL+"/run", "application/json",
+		strings.NewReader(`{"model":"gawk","allocator":"arena"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("post-shutdown POST /run status = %d, want 503", resp.StatusCode)
+	}
+}
+
+func TestSubmitValidates(t *testing.T) {
+	srv := newServer(core.DefaultConfig(0.02), 1)
+	defer srv.shutdown()
+	if _, err := srv.submit(core.MatrixJob{Model: "gawk", Allocator: "nope", Predictor: "true"}); err == nil {
+		t.Error("bad allocator accepted")
+	}
+	if _, err := srv.submit(core.MatrixJob{Model: "gawk", Allocator: "arena", Predictor: "maybe"}); err == nil {
+		t.Error("bad predictor accepted")
+	}
+}

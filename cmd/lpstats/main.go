@@ -9,6 +9,7 @@
 //	lpsim -trace test.trc -alloc arena -sites sites.json -obs metrics.json
 //	lpstats -metrics metrics.json
 //	lpstats -metrics metrics.json -top 10 -rows 12
+//	lpsim -trace test.trc -alloc arena -obs - | lpstats -metrics -
 package main
 
 import (
@@ -31,7 +32,7 @@ func main() {
 	rows := flag.Int("rows", 16, "how many timeline rows in the fragmentation table")
 	cliutil.Parse(name,
 		"render an lpsim -obs metrics snapshot as a text report",
-		"lpstats -metrics metrics.json -top 10")
+		"lpsim -trace t.trc -alloc arena -obs - | lpstats -metrics -")
 
 	if *metricsPath == "" {
 		cliutil.UsageError(name, "missing -metrics")

@@ -12,7 +12,7 @@ import (
 
 // Version identifies the tool suite; every tool's -version flag prints
 // it. Bump it when the trace or metrics formats change shape.
-const Version = "lifetime-repro 1.1 (Barrett & Zorn, PLDI 1993 reproduction)"
+const Version = "lifetime-repro 1.2 (Barrett & Zorn, PLDI 1993 reproduction)"
 
 // exit is swappable for tests.
 var exit = os.Exit

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/obs"
+)
+
+// BenchSchema is the bench-file wire-format version; ReadBench rejects
+// files without it, mirroring the obs snapshot schema gate.
+const BenchSchema = 1
+
+// BenchRun is one matrix cell's deterministic results: the headline
+// simulation aggregates plus the full flattened obs metric set. Every
+// value derives from seeded replays on the bytes-allocated clock, so two
+// runs of the same code at the same scale are byte-identical — which is
+// what lets cmd/lpdiff gate regressions against a committed baseline.
+type BenchRun struct {
+	Model     string `json:"model"`
+	Allocator string `json:"allocator"`
+	Predictor string `json:"predictor"`
+
+	Ops           int64   `json:"ops"` // allocs + frees replayed
+	TotalAllocs   int64   `json:"total_allocs"`
+	TotalBytes    int64   `json:"total_bytes"` // the final byte clock
+	MaxHeap       int64   `json:"max_heap"`
+	SearchLenMean float64 `json:"search_len_mean"` // free-list probes or arena scans per alloc
+	FragPeakPct   float64 `json:"frag_peak_pct"`   // worst 1 - live/heap over the timeline
+
+	// Metrics is the flattened obs snapshot (counters, gauges,
+	// histograms, event totals) plus the derived sim_* aggregates above
+	// under stable names.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// BenchFile is what cmd/lpbench writes (BENCH_<label>.json) and
+// cmd/lpdiff compares.
+type BenchFile struct {
+	Schema   int        `json:"schema"`
+	Label    string     `json:"label"`
+	Scale    float64    `json:"scale"`
+	SeedBase uint64     `json:"seed_base"`
+	Runs     []BenchRun `json:"runs"`
+}
+
+// NewBenchRun condenses one observed matrix result into a bench run.
+func NewBenchRun(j MatrixJob, res SimResult) BenchRun {
+	r := BenchRun{
+		Model:       j.Model,
+		Allocator:   j.Allocator,
+		Predictor:   j.Predictor,
+		Ops:         res.Counts.Allocs + res.Counts.Frees,
+		TotalAllocs: res.TotalAllocs,
+		TotalBytes:  res.TotalBytes,
+		MaxHeap:     res.MaxHeap,
+	}
+	r.Metrics = res.Obs.Flatten()
+	r.FragPeakPct = res.Obs.FragPeakPct()
+	r.SearchLenMean = searchLenMean(j.Allocator, res.Obs)
+	r.Metrics["sim_ops"] = float64(r.Ops)
+	r.Metrics["sim_total_bytes"] = float64(r.TotalBytes)
+	r.Metrics["sim_max_heap_bytes"] = float64(r.MaxHeap)
+	r.Metrics["sim_search_len_mean"] = r.SearchLenMean
+	r.Metrics["sim_frag_peak_pct"] = r.FragPeakPct
+	if r.Ops > 0 {
+		r.Metrics["sim_bytes_per_op"] = float64(r.TotalBytes) / float64(r.Ops)
+	}
+	return r
+}
+
+// searchLenMean picks the allocator's search-effort histogram: free-list
+// probes for the list allocators, arena scans for the arena.
+func searchLenMean(alloc string, s *obs.Snapshot) float64 {
+	if s == nil {
+		return 0
+	}
+	for _, name := range []string{alloc + ".search_len", alloc + ".scan_len"} {
+		if h, ok := s.Histograms[name]; ok {
+			return h.Mean()
+		}
+	}
+	return 0
+}
+
+// WriteBench writes a bench file as indented JSON, stamping the schema.
+func WriteBench(w io.Writer, f *BenchFile) error {
+	if f == nil {
+		return fmt.Errorf("core: nil bench file")
+	}
+	if f.Schema == 0 {
+		f.Schema = BenchSchema
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(f)
+}
+
+// ReadBench reads a bench file, rejecting missing or unknown schema
+// versions.
+func ReadBench(r io.Reader) (*BenchFile, error) {
+	var f BenchFile
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("core: decoding bench file: %w", err)
+	}
+	if f.Schema == 0 {
+		return nil, fmt.Errorf("core: bench file has no schema version (not an lpbench file?)")
+	}
+	if f.Schema > BenchSchema {
+		return nil, fmt.Errorf("core: bench schema version %d is newer than this tool's %d; upgrade the tool suite", f.Schema, BenchSchema)
+	}
+	return &f, nil
+}
+
+// Flatten reduces a bench file to one metric map keyed
+// model/allocator/predictor/metric, the shape cmd/lpdiff compares.
+func (f *BenchFile) Flatten() map[string]float64 {
+	out := make(map[string]float64)
+	for _, r := range f.Runs {
+		prefix := r.Model + "/" + r.Allocator + "/" + r.Predictor + "/"
+		for k, v := range r.Metrics {
+			out[prefix+k] = v
+		}
+	}
+	return out
+}

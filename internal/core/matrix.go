@@ -1,0 +1,273 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/heapsim"
+	"repro/internal/obs"
+	"repro/internal/profile"
+	"repro/internal/synth"
+)
+
+// AllocatorNames lists the simulators RunSim drives by name, in report
+// order. (SiteArena needs the sited replay loop and is not part of the
+// standard matrix.)
+var AllocatorNames = []string{"firstfit", "bestfit", "bsd", "arena"}
+
+// PredictorModes are the prediction configurations a matrix job can ask
+// for: none (no hints), self (trained on the measured input itself), and
+// true (trained on the Train input — the paper's honest configuration).
+var PredictorModes = []string{"none", "self", "true"}
+
+// NewAllocator builds a fresh simulator by name.
+func NewAllocator(name string) (heapsim.Allocator, error) {
+	switch name {
+	case "firstfit":
+		return heapsim.NewFirstFit(), nil
+	case "bestfit":
+		return heapsim.NewBestFit(), nil
+	case "bsd":
+		return heapsim.NewBSD(), nil
+	case "arena":
+		return heapsim.NewArena(), nil
+	}
+	return nil, fmt.Errorf("core: unknown allocator %q (want %s)", name, strings.Join(AllocatorNames, ", "))
+}
+
+// MustNewAllocator is NewAllocator for known-good names; it panics on a
+// bad one (test helper).
+func MustNewAllocator(name string) heapsim.Allocator {
+	a, err := NewAllocator(name)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// MatrixJob names one cell of the model × allocator × predictor matrix:
+// replay the model's Test input through the allocator, with the requested
+// prediction mode.
+type MatrixJob struct {
+	Model     string `json:"model"`
+	Allocator string `json:"allocator"`
+	Predictor string `json:"predictor"` // "none", "self", or "true"
+}
+
+// String renders the job as model/allocator/predictor.
+func (j MatrixJob) String() string {
+	return j.Model + "/" + j.Allocator + "/" + j.Predictor
+}
+
+// Validate checks every field against the known sets.
+func (j MatrixJob) Validate() error {
+	if synth.ByName(j.Model) == nil {
+		return fmt.Errorf("core: unknown model %q (want %s)", j.Model, strings.Join(ProgramOrder, ", "))
+	}
+	if _, err := NewAllocator(j.Allocator); err != nil {
+		return err
+	}
+	switch j.Predictor {
+	case "none", "self", "true":
+		return nil
+	}
+	return fmt.Errorf("core: unknown predictor mode %q (want none, self, true)", j.Predictor)
+}
+
+// ParseMatrix expands a compact matrix spec into jobs. The spec is up to
+// three /-separated segments — models, allocators, predictor modes —
+// each a comma list or "all"; omitted segments default to all allocators
+// and true prediction. Examples:
+//
+//	all                     every model × every allocator × true
+//	gawk,cfrac/arena        those two models on the arena allocator, true
+//	perl/all/none,true      perl on every allocator, with and without hints
+func ParseMatrix(spec string) ([]MatrixJob, error) {
+	parts := strings.Split(spec, "/")
+	if len(parts) > 3 {
+		return nil, fmt.Errorf("core: matrix spec %q has more than models/allocators/predictors", spec)
+	}
+	pick := func(i int, all []string) []string {
+		if i >= len(parts) || parts[i] == "" || parts[i] == "all" {
+			return all
+		}
+		return strings.Split(parts[i], ",")
+	}
+	models := pick(0, ProgramOrder)
+	allocs := pick(1, AllocatorNames)
+	preds := []string{"true"}
+	if len(parts) >= 3 {
+		preds = pick(2, PredictorModes)
+	}
+	jobs := make([]MatrixJob, 0, len(models)*len(allocs)*len(preds))
+	for _, m := range models {
+		for _, a := range allocs {
+			for _, p := range preds {
+				j := MatrixJob{Model: m, Allocator: a, Predictor: p}
+				if err := j.Validate(); err != nil {
+					return nil, err
+				}
+				jobs = append(jobs, j)
+			}
+		}
+	}
+	return jobs, nil
+}
+
+// MatrixRunner executes matrix jobs against one Config, building each
+// model's traces and predictors once and sharing them across jobs. All
+// methods are safe for concurrent use — lpserve's workers and RunAll's
+// pool run jobs in parallel, each with its own collector.
+type MatrixRunner struct {
+	cfg Config
+
+	mu    sync.Mutex
+	arts  map[string]*artEntry
+	selfs map[string]*selfEntry
+}
+
+type artEntry struct {
+	once sync.Once
+	art  *Artifacts
+	err  error
+}
+
+type selfEntry struct {
+	once sync.Once
+	pred *profile.Predictor
+}
+
+// NewMatrixRunner returns a runner over the given experiment config.
+func NewMatrixRunner(cfg Config) *MatrixRunner {
+	return &MatrixRunner{
+		cfg:   cfg,
+		arts:  make(map[string]*artEntry),
+		selfs: make(map[string]*selfEntry),
+	}
+}
+
+// Artifacts returns the (cached) built artifacts for a model.
+func (r *MatrixRunner) Artifacts(model string) (*Artifacts, error) {
+	m := synth.ByName(model)
+	if m == nil {
+		return nil, fmt.Errorf("core: unknown model %q", model)
+	}
+	r.mu.Lock()
+	e, ok := r.arts[model]
+	if !ok {
+		e = &artEntry{}
+		r.arts[model] = e
+	}
+	r.mu.Unlock()
+	e.once.Do(func() { e.art, e.err = r.cfg.Build(m) })
+	return e.art, e.err
+}
+
+// selfPredictor returns the (cached) predictor trained on a model's Test
+// input — the paper's self prediction for the measured run.
+func (r *MatrixRunner) selfPredictor(model string, a *Artifacts) *profile.Predictor {
+	r.mu.Lock()
+	e, ok := r.selfs[model]
+	if !ok {
+		e = &selfEntry{}
+		r.selfs[model] = e
+	}
+	r.mu.Unlock()
+	e.once.Do(func() {
+		db := profile.TrainObjects(a.TestTrace.Table, a.TestObjs, r.cfg.Profile)
+		e.pred = db.Predictor()
+	})
+	return e.pred
+}
+
+// Run executes one matrix job, observing it through the optional
+// collector (which may be scraped concurrently mid-replay).
+func (r *MatrixRunner) Run(j MatrixJob, col *obs.Collector) (SimResult, error) {
+	if err := j.Validate(); err != nil {
+		return SimResult{}, err
+	}
+	a, err := r.Artifacts(j.Model)
+	if err != nil {
+		return SimResult{}, err
+	}
+	var pred *profile.Predictor
+	switch j.Predictor {
+	case "true":
+		pred = a.TrainPredictor
+	case "self":
+		pred = r.selfPredictor(j.Model, a)
+	}
+	alloc, err := NewAllocator(j.Allocator)
+	if err != nil {
+		return SimResult{}, err
+	}
+	return RunSim(a.TestTrace, alloc, pred, col)
+}
+
+// MatrixResult pairs a job with its outcome.
+type MatrixResult struct {
+	Job MatrixJob
+	Res SimResult
+	Err error
+}
+
+// RunAll executes the jobs on a pool of workers goroutines (workers <= 1
+// runs serially) and returns results in job order. newCollector, when
+// non-nil, supplies each job's observer.
+func (r *MatrixRunner) RunAll(jobs []MatrixJob, workers int, newCollector func(MatrixJob) *obs.Collector) []MatrixResult {
+	results := make([]MatrixResult, len(jobs))
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				j := jobs[i]
+				var col *obs.Collector
+				if newCollector != nil {
+					col = newCollector(j)
+				}
+				res, err := r.Run(j, col)
+				results[i] = MatrixResult{Job: j, Res: res, Err: err}
+			}
+		}()
+	}
+	for i := range jobs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return results
+}
+
+// SortJobs orders jobs deterministically: paper program order, then
+// allocator report order, then predictor mode.
+func SortJobs(jobs []MatrixJob) {
+	rank := func(list []string, v string) int {
+		for i, s := range list {
+			if s == v {
+				return i
+			}
+		}
+		return len(list)
+	}
+	sort.SliceStable(jobs, func(a, b int) bool {
+		ja, jb := jobs[a], jobs[b]
+		if ra, rb := rank(ProgramOrder, ja.Model), rank(ProgramOrder, jb.Model); ra != rb {
+			return ra < rb
+		}
+		if ra, rb := rank(AllocatorNames, ja.Allocator), rank(AllocatorNames, jb.Allocator); ra != rb {
+			return ra < rb
+		}
+		return rank(PredictorModes, ja.Predictor) < rank(PredictorModes, jb.Predictor)
+	})
+}

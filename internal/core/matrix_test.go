@@ -1,0 +1,173 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestParseMatrix(t *testing.T) {
+	jobs, err := ParseMatrix("all")
+	if err != nil {
+		t.Fatalf("ParseMatrix(all): %v", err)
+	}
+	if want := len(ProgramOrder) * len(AllocatorNames); len(jobs) != want {
+		t.Errorf("all expanded to %d jobs, want %d", len(jobs), want)
+	}
+	for _, j := range jobs {
+		if j.Predictor != "true" {
+			t.Errorf("default predictor = %q, want true", j.Predictor)
+		}
+	}
+
+	jobs, err = ParseMatrix("gawk,cfrac/arena/none,true")
+	if err != nil {
+		t.Fatalf("ParseMatrix: %v", err)
+	}
+	want := []MatrixJob{
+		{Model: "gawk", Allocator: "arena", Predictor: "none"},
+		{Model: "gawk", Allocator: "arena", Predictor: "true"},
+		{Model: "cfrac", Allocator: "arena", Predictor: "none"},
+		{Model: "cfrac", Allocator: "arena", Predictor: "true"},
+	}
+	if !reflect.DeepEqual(jobs, want) {
+		t.Errorf("jobs = %v, want %v", jobs, want)
+	}
+
+	for _, bad := range []string{"nosuch", "gawk/nosuch", "gawk/arena/nosuch", "a/b/c/d"} {
+		if _, err := ParseMatrix(bad); err == nil {
+			t.Errorf("ParseMatrix(%q) accepted", bad)
+		}
+	}
+}
+
+func TestSortJobs(t *testing.T) {
+	jobs := []MatrixJob{
+		{Model: "perl", Allocator: "arena", Predictor: "true"},
+		{Model: "cfrac", Allocator: "bsd", Predictor: "true"},
+		{Model: "cfrac", Allocator: "firstfit", Predictor: "self"},
+		{Model: "cfrac", Allocator: "firstfit", Predictor: "none"},
+	}
+	SortJobs(jobs)
+	want := []MatrixJob{
+		{Model: "cfrac", Allocator: "firstfit", Predictor: "none"},
+		{Model: "cfrac", Allocator: "firstfit", Predictor: "self"},
+		{Model: "cfrac", Allocator: "bsd", Predictor: "true"},
+		{Model: "perl", Allocator: "arena", Predictor: "true"},
+	}
+	if !reflect.DeepEqual(jobs, want) {
+		t.Errorf("sorted = %v, want %v", jobs, want)
+	}
+}
+
+// TestMatrixRunnerConcurrent runs a small matrix on several workers with
+// per-job collectors and checks the observed results agree with direct
+// serial replays (the collectors must not perturb the simulation, and
+// shared artifacts must be safe to build once under contention).
+func TestMatrixRunnerConcurrent(t *testing.T) {
+	jobs, err := ParseMatrix("gawk,cfrac/firstfit,arena/true")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewMatrixRunner(DefaultConfig(testScale))
+	results := r.RunAll(jobs, 4, func(j MatrixJob) *obs.Collector {
+		return obs.NewCollector(obs.Options{Label: j.String()})
+	})
+	if len(results) != len(jobs) {
+		t.Fatalf("got %d results, want %d", len(results), len(jobs))
+	}
+	serial := NewMatrixRunner(DefaultConfig(testScale))
+	for i, res := range results {
+		if res.Err != nil {
+			t.Fatalf("job %s: %v", res.Job, res.Err)
+		}
+		if res.Job != jobs[i] {
+			t.Errorf("result %d out of order: %v", i, res.Job)
+		}
+		if res.Res.Obs == nil {
+			t.Errorf("job %s: no snapshot", res.Job)
+			continue
+		}
+		if res.Res.Obs.Program != res.Job.Model || res.Res.Obs.Allocator != res.Job.Allocator {
+			t.Errorf("job %s: snapshot tagged %s/%s", res.Job, res.Res.Obs.Program, res.Res.Obs.Allocator)
+		}
+		want, err := serial.Run(res.Job, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Res.MaxHeap != want.MaxHeap || res.Res.TotalBytes != want.TotalBytes {
+			t.Errorf("job %s: observed run (heap %d, bytes %d) != plain run (heap %d, bytes %d)",
+				res.Job, res.Res.MaxHeap, res.Res.TotalBytes, want.MaxHeap, want.TotalBytes)
+		}
+	}
+}
+
+func TestNewAllocatorUnknown(t *testing.T) {
+	if _, err := NewAllocator("slab"); err == nil {
+		t.Error("unknown allocator accepted")
+	}
+	if err := (MatrixJob{Model: "gawk", Allocator: "arena", Predictor: "maybe"}).Validate(); err == nil {
+		t.Error("bad predictor mode accepted")
+	}
+}
+
+func TestBenchRoundTripAndDeterminism(t *testing.T) {
+	jobs, err := ParseMatrix("gawk/arena,firstfit/true")
+	if err != nil {
+		t.Fatal(err)
+	}
+	build := func() *BenchFile {
+		r := NewMatrixRunner(DefaultConfig(testScale))
+		f := &BenchFile{Label: "test", Scale: testScale, SeedBase: DefaultConfig(testScale).SeedBase}
+		for _, res := range r.RunAll(jobs, 2, func(j MatrixJob) *obs.Collector {
+			return obs.NewCollector(obs.Options{Label: j.String()})
+		}) {
+			if res.Err != nil {
+				t.Fatalf("job %s: %v", res.Job, res.Err)
+			}
+			f.Runs = append(f.Runs, NewBenchRun(res.Job, res.Res))
+		}
+		return f
+	}
+	var a, b bytes.Buffer
+	if err := WriteBench(&a, build()); err != nil {
+		t.Fatalf("WriteBench: %v", err)
+	}
+	if err := WriteBench(&b, build()); err != nil {
+		t.Fatalf("WriteBench: %v", err)
+	}
+	if a.String() != b.String() {
+		t.Error("two identical bench runs serialized differently — bench output is nondeterministic")
+	}
+
+	f, err := ReadBench(bytes.NewReader(a.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadBench: %v", err)
+	}
+	if f.Schema != BenchSchema || len(f.Runs) != len(jobs) {
+		t.Errorf("read back schema %d with %d runs", f.Schema, len(f.Runs))
+	}
+	flat := f.Flatten()
+	for _, key := range []string{
+		"gawk/arena/true/sim_bytes_per_op",
+		"gawk/firstfit/true/sim_max_heap_bytes",
+		"gawk/arena/true/clock",
+	} {
+		if _, ok := flat[key]; !ok {
+			t.Errorf("Flatten missing %q", key)
+		}
+	}
+	if f.Runs[0].Ops <= 0 || f.Runs[0].TotalBytes <= 0 {
+		t.Errorf("degenerate bench run: %+v", f.Runs[0])
+	}
+
+	if _, err := ReadBench(strings.NewReader(`{"label":"x"}`)); err == nil {
+		t.Error("schemaless bench file accepted")
+	}
+	if _, err := ReadBench(strings.NewReader(`{"schema":99}`)); err == nil {
+		t.Error("future bench schema accepted")
+	}
+}

@@ -1,0 +1,234 @@
+// Package e2e exercises the shipped binaries end to end: the full
+// lpgen → lpprof → lpsim → lpstats pipeline, the lpsim|lpstats stdin
+// pipe, lpdiff's exit-code contract, and lpbench determinism — the way
+// a user (or CI) drives them, via exec, asserting on exit codes and key
+// output lines rather than internal APIs.
+package e2e
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// binDir builds each needed command once per test binary.
+var (
+	binOnce sync.Once
+	binPath string
+	binErr  error
+)
+
+var commands = []string{"lpgen", "lpprof", "lpsim", "lpstats", "lpdiff", "lpbench"}
+
+func bins(t *testing.T) string {
+	t.Helper()
+	binOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "lp-e2e-bin")
+		if err != nil {
+			binErr = err
+			return
+		}
+		for _, cmd := range commands {
+			out, err := exec.Command("go", "build", "-o", filepath.Join(dir, cmd), "repro/cmd/"+cmd).CombinedOutput()
+			if err != nil {
+				binErr = fmt.Errorf("go build %s: %v\n%s", cmd, err, out)
+				return
+			}
+		}
+		binPath = dir
+	})
+	if binErr != nil {
+		t.Fatal(binErr)
+	}
+	return binPath
+}
+
+// run executes a built binary and returns stdout, stderr, and the exit
+// code (failing the test on anything but a clean exit-status error).
+func run(t *testing.T, bin string, name string, args ...string) (string, string, int) {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(bin, name), args...)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	err := cmd.Run()
+	code := 0
+	if err != nil {
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("%s %v: %v", name, args, err)
+		}
+		code = ee.ExitCode()
+	}
+	return stdout.String(), stderr.String(), code
+}
+
+func TestPipeline(t *testing.T) {
+	bin := bins(t)
+	dir := t.TempDir()
+	train := filepath.Join(dir, "train.trc")
+	test := filepath.Join(dir, "test.trc")
+	sites := filepath.Join(dir, "sites.json")
+	metrics := filepath.Join(dir, "metrics.json")
+
+	// lpgen: one training trace, one test trace.
+	if _, stderr, code := run(t, bin, "lpgen",
+		"-program", "gawk", "-input", "train", "-scale", "0.02", "-seed", "1", "-o", train); code != 0 {
+		t.Fatalf("lpgen train exited %d: %s", code, stderr)
+	}
+	if _, stderr, code := run(t, bin, "lpgen",
+		"-program", "gawk", "-input", "test", "-scale", "0.02", "-seed", "2", "-o", test); code != 0 {
+		t.Fatalf("lpgen test exited %d: %s", code, stderr)
+	}
+
+	// lpprof: train the predictor.
+	if _, stderr, code := run(t, bin, "lpprof", "-trace", train, "-o", sites); code != 0 {
+		t.Fatalf("lpprof exited %d: %s", code, stderr)
+	}
+	var sitesDoc map[string]any
+	data, err := os.ReadFile(sites)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &sitesDoc); err != nil {
+		t.Fatalf("lpprof output is not JSON: %v", err)
+	}
+
+	// lpsim: replay the test trace with prediction and observability.
+	stdout, stderr, code := run(t, bin, "lpsim",
+		"-trace", test, "-alloc", "arena", "-sites", sites, "-obs", metrics)
+	if code != 0 {
+		t.Fatalf("lpsim exited %d: %s", code, stderr)
+	}
+	for _, want := range []string{"gawk", "arena"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("lpsim stdout is missing %q:\n%s", want, stdout)
+		}
+	}
+
+	// lpstats: render the snapshot.
+	stdout, stderr, code = run(t, bin, "lpstats", "-metrics", metrics)
+	if code != 0 {
+		t.Fatalf("lpstats exited %d: %s", code, stderr)
+	}
+	for _, want := range []string{"gawk", "arena", "clock"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("lpstats report is missing %q", want)
+		}
+	}
+
+	// Missing flag is a usage error: exit 2.
+	if _, _, code := run(t, bin, "lpstats"); code != 2 {
+		t.Errorf("lpstats without -metrics exited %d, want 2", code)
+	}
+}
+
+// TestStdinPipe drives the documented one-liner:
+// lpsim -obs - | lpstats -metrics -
+func TestStdinPipe(t *testing.T) {
+	bin := bins(t)
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "t.trc")
+	if _, stderr, code := run(t, bin, "lpgen",
+		"-program", "cfrac", "-input", "test", "-scale", "0.02", "-o", trace); code != 0 {
+		t.Fatalf("lpgen exited %d: %s", code, stderr)
+	}
+
+	pipe := fmt.Sprintf("%s -trace %s -alloc arena -obs - | %s -metrics -",
+		filepath.Join(bin, "lpsim"), trace, filepath.Join(bin, "lpstats"))
+	out, err := exec.Command("sh", "-c", pipe).Output()
+	if err != nil {
+		t.Fatalf("pipe failed: %v", err)
+	}
+	for _, want := range []string{"cfrac", "arena", "clock"} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("piped lpstats report is missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestDiffGate proves the CI contract: lpdiff exits 0 comparing a bench
+// file against itself and 1 when a gated metric regresses.
+func TestDiffGate(t *testing.T) {
+	bin := bins(t)
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.json")
+
+	if _, stderr, code := run(t, bin, "lpbench",
+		"-matrix", "gawk/arena/true", "-label", "base", "-scale", "0.01", "-o", base); code != 0 {
+		t.Fatalf("lpbench exited %d: %s", code, stderr)
+	}
+
+	stdout, _, code := run(t, bin, "lpdiff", "-threshold", "sim_bytes_per_op+10%", base, base)
+	if code != 0 {
+		t.Fatalf("lpdiff on identical files exited %d:\n%s", code, stdout)
+	}
+	if !strings.Contains(stdout, "threshold(s) hold") {
+		t.Errorf("lpdiff pass output missing confirmation:\n%s", stdout)
+	}
+
+	// Inject a 25% regression into sim_bytes_per_op and re-gate.
+	data, err := os.ReadFile(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	runs := doc["runs"].([]any)
+	metrics := runs[0].(map[string]any)["metrics"].(map[string]any)
+	metrics["sim_bytes_per_op"] = metrics["sim_bytes_per_op"].(float64) * 1.25
+	bad, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regressed := filepath.Join(dir, "regressed.json")
+	if err := os.WriteFile(regressed, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	stdout, _, code = run(t, bin, "lpdiff", "-threshold", "sim_bytes_per_op+10%", base, regressed)
+	if code != 1 {
+		t.Fatalf("lpdiff on a 25%% regression exited %d, want 1:\n%s", code, stdout)
+	}
+	if !strings.Contains(stdout, "FAIL") || !strings.Contains(stdout, "sim_bytes_per_op") {
+		t.Errorf("lpdiff failure output missing FAIL line:\n%s", stdout)
+	}
+
+	// A threshold that matches no metric must also gate (exit 1).
+	if _, _, code := run(t, bin, "lpdiff", "-threshold", "no_such_metric+5%", base, base); code != 1 {
+		t.Errorf("vacuous gate exited %d, want 1", code)
+	}
+}
+
+// TestBenchDeterminism runs lpbench twice with identical arguments and
+// requires byte-identical output — the property that makes a committed
+// BENCH_seed.json a usable cross-machine baseline.
+func TestBenchDeterminism(t *testing.T) {
+	bin := bins(t)
+	dir := t.TempDir()
+	a, b := filepath.Join(dir, "a.json"), filepath.Join(dir, "b.json")
+	for _, out := range []string{a, b} {
+		if _, stderr, code := run(t, bin, "lpbench",
+			"-matrix", "gawk,cfrac/arena,bsd/true,none", "-label", "seed", "-scale", "0.01", "-o", out); code != 0 {
+			t.Fatalf("lpbench exited %d: %s", code, stderr)
+		}
+	}
+	da, err := os.ReadFile(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := os.ReadFile(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(da, db) {
+		t.Error("two identical lpbench invocations differ — bench output is not deterministic")
+	}
+}

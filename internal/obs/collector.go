@@ -19,6 +19,14 @@ type Options struct {
 	// counters but drop events). When set, the snapshot's event summary
 	// is empty unless the sink is a *MemorySink.
 	Sink EventSink
+	// SampleHook, when set, is called with every recorded timeline
+	// sample, after it lands in the timeline. It runs on the replay
+	// goroutine and must not block (lpserve streams samples over SSE
+	// through it).
+	SampleHook func(Sample)
+	// EventHook, when set, is called with every emitted event after the
+	// sink consumed it. Same contract as SampleHook.
+	EventHook func(Event)
 }
 
 // Collector bundles a metric registry, a timeline, and an event sink,
@@ -33,11 +41,13 @@ type Options struct {
 type Collector struct {
 	Label string
 
-	reg      *Registry
-	timeline *Timeline
-	sink     EventSink
-	mem      *MemorySink // non-nil when sink is the default MemorySink
-	clock    atomic.Int64
+	reg        *Registry
+	timeline   *Timeline
+	sink       EventSink
+	mem        *MemorySink // non-nil when sink is the default MemorySink
+	sampleHook func(Sample)
+	eventHook  func(Event)
+	clock      atomic.Int64
 
 	mu     sync.Mutex
 	phases []PhaseSnapshot
@@ -46,7 +56,12 @@ type Collector struct {
 
 // NewCollector returns a collector with the given options.
 func NewCollector(opts Options) *Collector {
-	c := &Collector{Label: opts.Label, reg: NewRegistry()}
+	c := &Collector{
+		Label:      opts.Label,
+		reg:        NewRegistry(),
+		sampleHook: opts.SampleHook,
+		eventHook:  opts.EventHook,
+	}
 	if opts.TimelineInterval >= 0 {
 		c.timeline = NewTimeline(opts.TimelineInterval)
 	}
@@ -125,7 +140,11 @@ func (c *Collector) Emit(kind EventKind, arg int64) {
 	if c == nil {
 		return
 	}
-	c.sink.Event(Event{Kind: kind, Clock: c.clock.Load(), Arg: arg})
+	ev := Event{Kind: kind, Clock: c.clock.Load(), Arg: arg}
+	c.sink.Event(ev)
+	if c.eventHook != nil {
+		c.eventHook(ev)
+	}
 }
 
 // TimelineDue reports whether the timeline wants a sample at the given
@@ -143,6 +162,9 @@ func (c *Collector) RecordSample(s Sample) {
 		return
 	}
 	c.timeline.Record(s)
+	if c.sampleHook != nil {
+		c.sampleHook(s)
+	}
 }
 
 // MarkPhase snapshots every counter under a phase label; core marks
@@ -182,6 +204,7 @@ func (c *Collector) Snapshot() *Snapshot {
 	c.mu.Unlock()
 
 	s := &Snapshot{
+		Schema:     SnapshotSchema,
 		Label:      c.Label,
 		Clock:      c.clock.Load(),
 		Counters:   c.reg.CounterValues(),
@@ -232,9 +255,15 @@ type EventSummary struct {
 	Dropped int64            `json:"dropped,omitempty"`
 }
 
+// SnapshotSchema is the current snapshot wire-format version. ReadJSON
+// rejects files that do not carry it, so format drift fails loudly
+// instead of silently decoding zero values.
+const SnapshotSchema = 1
+
 // Snapshot is a complete, serializable view of one observed run. It is
 // what `lpsim -obs` writes and `lpstats` renders.
 type Snapshot struct {
+	Schema    int    `json:"schema"`
 	Label     string `json:"label,omitempty"`
 	Program   string `json:"program,omitempty"`
 	Allocator string `json:"allocator,omitempty"`

@@ -1,0 +1,215 @@
+package expfmt_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/obs/expfmt"
+	"repro/internal/synth"
+)
+
+// buildSnapshot exercises every snapshot field the exposition renders.
+func buildSnapshot() *obs.Snapshot {
+	c := obs.NewCollector(obs.Options{Label: "gawk/arena", TimelineInterval: 100})
+	c.Counter("arena.resets").Add(7)
+	c.Counter("firstfit.splits").Add(3)
+	c.Gauge("arena.pinned").Set(2)
+	c.Gauge("arena.pinned").Set(1)
+	h := c.Log2Histogram("arena.alloc_size", 8)
+	for _, v := range []int64{8, 16, 16, 300} {
+		h.Observe(v)
+	}
+	lh := c.LinearHistogram("arena.scan_len", 1, 4)
+	lh.Observe(2)
+	lh.Observe(1000) // overflow
+	c.SetClock(250)
+	c.Emit(obs.EvArenaReuse, 3)
+	c.Emit(obs.EvHeapGrow, 4096)
+	s := c.Snapshot()
+	s.Program = "gawk"
+	s.Allocator = "arena"
+	return s
+}
+
+func TestWriteShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := expfmt.Write(&buf, buildSnapshot()); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		`# TYPE lp_clock_bytes counter`,
+		`lp_clock_bytes{allocator="arena",program="gawk"} 250`,
+		`lp_arena_resets{allocator="arena",program="gawk"} 7`,
+		`# TYPE lp_arena_pinned gauge`,
+		`lp_arena_pinned{allocator="arena",program="gawk"} 1`,
+		`lp_arena_pinned_max{allocator="arena",program="gawk"} 2`,
+		`# TYPE lp_arena_alloc_size histogram`,
+		`lp_arena_alloc_size_bucket{allocator="arena",le="+Inf",program="gawk"} 4`,
+		`lp_arena_alloc_size_sum{allocator="arena",program="gawk"} 340`,
+		`lp_arena_alloc_size_count{allocator="arena",program="gawk"} 4`,
+		`lp_events_total{allocator="arena",kind="arena_reuse",program="gawk"} 1`,
+		// Overflowed values land in +Inf only: 2 observed, 1 under le=2.
+		`lp_arena_scan_len_bucket{allocator="arena",le="2",program="gawk"} 1`,
+		`lp_arena_scan_len_bucket{allocator="arena",le="+Inf",program="gawk"} 2`,
+	} {
+		if !strings.Contains(text, want+"\n") {
+			t.Errorf("exposition missing line %q\n--- got ---\n%s", want, text)
+		}
+	}
+	if strings.Contains(text, "lp_lp_") {
+		t.Error("double lp_ prefix in exposition")
+	}
+}
+
+// TestRoundTripExact is the acceptance property: Write → Parse →
+// WriteFamilies reproduces the exposition byte for byte.
+func TestRoundTripExact(t *testing.T) {
+	roundTrip(t, buildSnapshot())
+}
+
+func roundTrip(t *testing.T, s *obs.Snapshot) {
+	t.Helper()
+	var first bytes.Buffer
+	if err := expfmt.Write(&first, s); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	fams, err := expfmt.Parse(bytes.NewReader(first.Bytes()))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	var second bytes.Buffer
+	if err := expfmt.WriteFamilies(&second, fams); err != nil {
+		t.Fatalf("WriteFamilies: %v", err)
+	}
+	if first.String() != second.String() {
+		t.Errorf("round trip not exact:\n--- wrote ---\n%s--- re-rendered ---\n%s",
+			first.String(), second.String())
+	}
+}
+
+// TestRoundTripMidReplay snapshots a collector concurrently with a live
+// replay (lpserve's /metrics situation) and requires the same exact
+// round-trip. Run under -race this also proves snapshotting mid-replay
+// is safe.
+func TestRoundTripMidReplay(t *testing.T) {
+	col := obs.NewCollector(obs.Options{Label: "mid", TimelineInterval: 4 << 10})
+	done := make(chan error, 1)
+	go func() {
+		m := synth.ByName("gawk")
+		_, err := core.RunSimStream(m,
+			synth.Config{Input: synth.Test, Seed: 7, Scale: 0.02},
+			core.MustNewAllocator("arena"), nil, col)
+		done <- err
+	}()
+	for i := 0; ; i++ {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("RunSimStream: %v", err)
+			}
+			// Final pass over the finished run.
+			roundTrip(t, col.Snapshot())
+			return
+		default:
+			s := col.Snapshot()
+			s.Program, s.Allocator = "gawk", "arena"
+			roundTrip(t, s)
+		}
+	}
+}
+
+func TestGatherMergesJobs(t *testing.T) {
+	a, b := buildSnapshot(), buildSnapshot()
+	b.Program = "perl"
+	fa := expfmt.Families(a, map[string]string{"job": "1"})
+	fb := expfmt.Families(b, map[string]string{"job": "2"})
+	fams, err := expfmt.Gather(fa, fb)
+	if err != nil {
+		t.Fatalf("Gather: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := expfmt.WriteFamilies(&buf, fams); err != nil {
+		t.Fatalf("WriteFamilies: %v", err)
+	}
+	text := buf.String()
+	if strings.Count(text, "# TYPE lp_clock_bytes counter") != 1 {
+		t.Errorf("merged family emitted more than one TYPE line:\n%s", text)
+	}
+	if !strings.Contains(text, `job="1"`) || !strings.Contains(text, `job="2"`) {
+		t.Errorf("merged exposition lost job labels:\n%s", text)
+	}
+	// Merged output still round-trips exactly.
+	parsed, err := expfmt.Parse(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("Parse(merged): %v", err)
+	}
+	var again bytes.Buffer
+	if err := expfmt.WriteFamilies(&again, parsed); err != nil {
+		t.Fatalf("WriteFamilies(parsed): %v", err)
+	}
+	if again.String() != text {
+		t.Error("merged exposition did not round-trip exactly")
+	}
+}
+
+func TestGatherTypeClash(t *testing.T) {
+	_, err := expfmt.Gather(
+		[]Family{{Name: "lp_x", Type: "counter"}},
+		[]Family{{Name: "lp_x", Type: "gauge"}},
+	)
+	if err == nil {
+		t.Error("type clash accepted")
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	for name, text := range map[string]string{
+		"sample before TYPE": "lp_x 1\n",
+		"bad value":          "# TYPE lp_x counter\nlp_x one\n",
+		"foreign sample":     "# TYPE lp_x counter\nlp_y 1\n",
+		"unterminated label": "# TYPE lp_x counter\nlp_x{a=\"b 1\n",
+		"unsupported type":   "# TYPE lp_x summary\nlp_x 1\n",
+	} {
+		if _, err := expfmt.Parse(strings.NewReader(text)); err == nil {
+			t.Errorf("%s: accepted %q", name, text)
+		}
+	}
+}
+
+func TestParseLabelEscapes(t *testing.T) {
+	in := "# TYPE lp_x counter\n" + `lp_x{p="a\\b\"c\nd"} 1` + "\n"
+	fams, err := expfmt.Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	got := fams[0].Metrics[0].Labels["p"]
+	if want := "a\\b\"c\nd"; got != want {
+		t.Errorf("unescaped label = %q, want %q", got, want)
+	}
+	var buf bytes.Buffer
+	if err := expfmt.WriteFamilies(&buf, fams); err != nil {
+		t.Fatalf("WriteFamilies: %v", err)
+	}
+	if buf.String() != in {
+		t.Errorf("escape round trip: got %q, want %q", buf.String(), in)
+	}
+}
+
+func TestMetricName(t *testing.T) {
+	for in, want := range map[string]string{
+		"firstfit.search_len": "lp_firstfit_search_len",
+		"arena.pinned":        "lp_arena_pinned",
+		"weird-name/2":        "lp_weird_name_2",
+	} {
+		if got := expfmt.MetricName(in); got != want {
+			t.Errorf("MetricName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// Family is re-exported for the clash test's literal.
+type Family = expfmt.Family

@@ -1,0 +1,168 @@
+package expfmt
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Parse reads the text exposition format back into families. It is strict
+// about the structure this package writes — every sample must follow a
+// # TYPE line for its family, histogram samples must use the family's
+// _bucket/_sum/_count suffixes — so tests can assert that a scrape
+// re-renders byte-for-byte via WriteFamilies.
+func Parse(r io.Reader) ([]Family, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	var fams []Family
+	var cur *Family
+	pendingHelp := make(map[string]string)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, help, _ := strings.Cut(rest, " ")
+			pendingHelp[name] = help
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			rest := strings.TrimPrefix(line, "# TYPE ")
+			name, typ, ok := strings.Cut(rest, " ")
+			if !ok {
+				return nil, fmt.Errorf("expfmt: line %d: malformed TYPE line", lineNo)
+			}
+			switch typ {
+			case "counter", "gauge", "histogram":
+			default:
+				return nil, fmt.Errorf("expfmt: line %d: unsupported type %q", lineNo, typ)
+			}
+			fams = append(fams, Family{Name: name, Type: typ, Help: pendingHelp[name]})
+			delete(pendingHelp, name)
+			cur = &fams[len(fams)-1]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // other comments are legal exposition content
+		}
+		m, name, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("expfmt: line %d: %w", lineNo, err)
+		}
+		if cur == nil {
+			return nil, fmt.Errorf("expfmt: line %d: sample %s before any # TYPE", lineNo, name)
+		}
+		suffix, ok := familySuffix(cur, name)
+		if !ok {
+			return nil, fmt.Errorf("expfmt: line %d: sample %s does not belong to family %s", lineNo, name, cur.Name)
+		}
+		m.Suffix = suffix
+		cur.Metrics = append(cur.Metrics, m)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("expfmt: reading exposition: %w", err)
+	}
+	return fams, nil
+}
+
+// familySuffix checks a sample name against the current family and
+// returns the sample's suffix within it.
+func familySuffix(f *Family, name string) (string, bool) {
+	if name == f.Name {
+		return "", true
+	}
+	if f.Type == "histogram" && strings.HasPrefix(name, f.Name) {
+		switch suffix := name[len(f.Name):]; suffix {
+		case "_bucket", "_sum", "_count":
+			return suffix, true
+		}
+	}
+	return "", false
+}
+
+// parseSample parses one `name{k="v",...} value` line.
+func parseSample(line string) (Metric, string, error) {
+	m := Metric{}
+	rest := line
+	var name string
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		name = rest[:i]
+		rest = rest[i+1:]
+		labels, tail, err := parseLabels(rest)
+		if err != nil {
+			return m, name, err
+		}
+		m.Labels = labels
+		rest = tail
+	} else {
+		var ok bool
+		name, rest, ok = strings.Cut(rest, " ")
+		if !ok {
+			return m, name, fmt.Errorf("sample %q has no value", line)
+		}
+	}
+	val := strings.TrimSpace(rest)
+	v, err := strconv.ParseFloat(val, 64) // accepts +Inf/-Inf/NaN spellings
+	if err != nil {
+		return m, name, fmt.Errorf("bad sample value %q: %v", val, err)
+	}
+	m.Value = v
+	return m, name, nil
+}
+
+// parseLabels parses `k="v",...}` (the opening brace already consumed)
+// and returns the labels plus the remainder of the line.
+func parseLabels(s string) (map[string]string, string, error) {
+	labels := make(map[string]string)
+	for {
+		s = strings.TrimLeft(s, ",")
+		if strings.HasPrefix(s, "}") {
+			return labels, strings.TrimPrefix(s, "}"), nil
+		}
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return nil, "", fmt.Errorf("label without '=' in %q", s)
+		}
+		key := s[:eq]
+		s = s[eq+1:]
+		if !strings.HasPrefix(s, `"`) {
+			return nil, "", fmt.Errorf("label %s value is not quoted", key)
+		}
+		s = s[1:]
+		var b strings.Builder
+		i := 0
+		for ; i < len(s); i++ {
+			c := s[i]
+			if c == '\\' {
+				if i+1 >= len(s) {
+					return nil, "", fmt.Errorf("label %s value ends mid-escape", key)
+				}
+				i++
+				switch s[i] {
+				case 'n':
+					b.WriteByte('\n')
+				case '\\', '"':
+					b.WriteByte(s[i])
+				default:
+					return nil, "", fmt.Errorf("label %s has unknown escape \\%c", key, s[i])
+				}
+				continue
+			}
+			if c == '"' {
+				break
+			}
+			b.WriteByte(c)
+		}
+		if i >= len(s) {
+			return nil, "", fmt.Errorf("label %s value is unterminated", key)
+		}
+		labels[key] = b.String()
+		s = s[i+1:]
+	}
+}

@@ -9,22 +9,34 @@ import (
 	"strconv"
 )
 
-// WriteJSON writes a snapshot as indented JSON (the `lpsim -obs` format).
+// WriteJSON writes a snapshot as indented JSON (the `lpsim -obs` format),
+// stamping the current schema version when the snapshot carries none.
 func WriteJSON(w io.Writer, s *Snapshot) error {
 	if s == nil {
 		return fmt.Errorf("obs: nil snapshot")
+	}
+	if s.Schema == 0 {
+		s.Schema = SnapshotSchema
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(s)
 }
 
-// ReadJSON reads a snapshot written by WriteJSON.
+// ReadJSON reads a snapshot written by WriteJSON. Snapshots without a
+// schema version, or with one this build does not understand, are
+// rejected outright rather than decoded into zero values.
 func ReadJSON(r io.Reader) (*Snapshot, error) {
 	var s Snapshot
 	dec := json.NewDecoder(r)
 	if err := dec.Decode(&s); err != nil {
 		return nil, fmt.Errorf("obs: decoding snapshot: %w", err)
+	}
+	if s.Schema == 0 {
+		return nil, fmt.Errorf("obs: snapshot has no schema version (written by an older tool?); re-export it with this tool suite")
+	}
+	if s.Schema > SnapshotSchema {
+		return nil, fmt.Errorf("obs: snapshot schema version %d is newer than this tool's %d; upgrade the tool suite", s.Schema, SnapshotSchema)
 	}
 	return &s, nil
 }
@@ -34,8 +46,13 @@ var timelineHeader = []string{
 }
 
 // WriteTimelineCSV writes the snapshot's timeline as CSV with a header
-// row, one sample per line.
+// row, one sample per line. An empty timeline yields a header-only file,
+// not an error, so downstream plotting scripts see a well-formed (if
+// empty) table.
 func WriteTimelineCSV(w io.Writer, s *Snapshot) error {
+	if s == nil {
+		return fmt.Errorf("obs: nil snapshot")
+	}
 	cw := csv.NewWriter(w)
 	if err := cw.Write(timelineHeader); err != nil {
 		return err
@@ -93,6 +110,9 @@ func ReadTimelineCSV(r io.Reader) ([]Sample, error) {
 // WriteCountersCSV writes every counter (and each gauge's value and max)
 // as `name,value` rows, sorted by name.
 func WriteCountersCSV(w io.Writer, s *Snapshot) error {
+	if s == nil {
+		return fmt.Errorf("obs: nil snapshot")
+	}
 	cw := csv.NewWriter(w)
 	if err := cw.Write([]string{"name", "value"}); err != nil {
 		return err

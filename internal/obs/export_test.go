@@ -65,6 +65,59 @@ func TestReadJSONGarbage(t *testing.T) {
 	}
 }
 
+func TestReadJSONSchemaGate(t *testing.T) {
+	// A snapshot without a schema version must be rejected with a clear
+	// message, not decoded into zero values.
+	_, err := ReadJSON(strings.NewReader(`{"clock": 42}`))
+	if err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Errorf("schemaless snapshot: got %v, want schema error", err)
+	}
+	// So must one from a future format.
+	_, err = ReadJSON(strings.NewReader(`{"schema": 999, "clock": 42}`))
+	if err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Errorf("future schema: got %v, want schema error", err)
+	}
+	// The current version round-trips.
+	s, err := ReadJSON(strings.NewReader(`{"schema": 1, "clock": 42}`))
+	if err != nil {
+		t.Fatalf("current schema rejected: %v", err)
+	}
+	if s.Clock != 42 {
+		t.Errorf("clock = %d, want 42", s.Clock)
+	}
+}
+
+func TestWriteJSONStampsSchema(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, &Snapshot{Clock: 7}); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatalf("ReadJSON: %v", err)
+	}
+	if got.Schema != SnapshotSchema {
+		t.Errorf("schema = %d, want %d", got.Schema, SnapshotSchema)
+	}
+}
+
+func TestWriteTimelineCSVEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTimelineCSV(&buf, &Snapshot{}); err != nil {
+		t.Fatalf("WriteTimelineCSV(empty timeline): %v", err)
+	}
+	want := strings.Join(timelineHeader, ",") + "\n"
+	if buf.String() != want {
+		t.Errorf("empty timeline CSV = %q, want header-only %q", buf.String(), want)
+	}
+	if err := WriteTimelineCSV(&buf, nil); err == nil {
+		t.Error("WriteTimelineCSV(nil) succeeded")
+	}
+	if err := WriteCountersCSV(&buf, nil); err == nil {
+		t.Error("WriteCountersCSV(nil) succeeded")
+	}
+}
+
 func TestTimelineCSVRoundTrip(t *testing.T) {
 	s := buildSnapshot()
 	var buf bytes.Buffer

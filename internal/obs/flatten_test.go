@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFlatten(t *testing.T) {
+	s := buildSnapshot()
+	m := s.Flatten()
+	checks := map[string]float64{
+		"clock":                  250,
+		"arena.resets":           7,
+		"firstfit.splits":        3,
+		"arena.pinned":           1,
+		"arena.pinned.max":       2,
+		"arena.alloc_size.count": 4,
+		"arena.alloc_size.sum":   340,
+		"arena.alloc_size.mean":  85,
+		"arena.alloc_size.max":   300,
+		"events.arena_reuse":     1,
+		"events.heap_grow":       1,
+	}
+	for name, want := range checks {
+		got, ok := m[name]
+		if !ok {
+			t.Errorf("Flatten missing %q", name)
+			continue
+		}
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("Flatten[%q] = %g, want %g", name, got, want)
+		}
+	}
+	if got := (*Snapshot)(nil).Flatten(); len(got) != 0 {
+		t.Errorf("nil snapshot flattened to %v", got)
+	}
+}
+
+func TestFragPeakPct(t *testing.T) {
+	s := &Snapshot{Timeline: []Sample{
+		{Clock: 1, LiveBytes: 90, HeapBytes: 100}, // 10% frag
+		{Clock: 2, LiveBytes: 50, HeapBytes: 200}, // 75% frag — the peak
+		{Clock: 3, LiveBytes: 10, HeapBytes: 0},   // ignored: no heap
+	}}
+	if got := s.FragPeakPct(); math.Abs(got-75) > 1e-9 {
+		t.Errorf("FragPeakPct = %g, want 75", got)
+	}
+	if got := (&Snapshot{}).FragPeakPct(); got != 0 {
+		t.Errorf("empty timeline FragPeakPct = %g, want 0", got)
+	}
+}
+
+func TestCollectorHooks(t *testing.T) {
+	var samples []Sample
+	var events []Event
+	c := NewCollector(Options{
+		Label:            "hooked",
+		TimelineInterval: 10,
+		SampleHook:       func(s Sample) { samples = append(samples, s) },
+		EventHook:        func(e Event) { events = append(events, e) },
+	})
+	c.SetClock(25)
+	c.Emit(EvHeapGrow, 4096)
+	c.RecordSample(Sample{Clock: 25, LiveBytes: 5})
+	if len(samples) != 1 || samples[0].Clock != 25 {
+		t.Errorf("sample hook saw %v, want one sample at clock 25", samples)
+	}
+	if len(events) != 1 || events[0].Kind != EvHeapGrow || events[0].Clock != 25 {
+		t.Errorf("event hook saw %v, want one heap_grow at clock 25", events)
+	}
+	// The hooks feed the sink and timeline as usual.
+	snap := c.Snapshot()
+	if snap.Events.Counts["heap_grow"] != 1 || len(snap.Timeline) != 1 {
+		t.Errorf("hooked collector snapshot lost data: %+v", snap)
+	}
+}
