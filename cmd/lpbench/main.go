@@ -11,7 +11,7 @@
 //
 //	lpbench -label seed -o BENCH_seed.json
 //	lpbench -matrix gawk,cfrac/arena,firstfit -scale 0.05 -o -
-//	lpbench -o new.json && lpdiff BENCH_seed.json new.json -threshold sim_bytes_per_op+10%
+//	lpbench -o new.json && lpdiff -threshold sim_bytes_per_op+10% BENCH_seed.json new.json
 package main
 
 import (
@@ -37,7 +37,7 @@ func main() {
 	cliutil.Parse(name,
 		"run the simulation matrix and emit a deterministic bench JSON file",
 		"lpbench -label seed -o BENCH_seed.json",
-		"lpbench -o new.json && lpdiff BENCH_seed.json new.json -threshold sim_bytes_per_op+10%")
+		"lpbench -o new.json && lpdiff -threshold sim_bytes_per_op+10% BENCH_seed.json new.json")
 
 	jobs, err := core.ParseMatrix(*matrixSpec)
 	if err != nil {

@@ -12,7 +12,8 @@ import (
 // broker fans live observability out to SSE subscribers. Publishers are
 // the replay workers' collector hooks, which must never block: a slow
 // subscriber's buffer fills and subsequent messages are dropped for it
-// (counted, and reported when the stream closes).
+// (counted, and reported by the /events handler as a final SSE comment
+// when the stream closes).
 type broker struct {
 	mu     sync.Mutex
 	subs   map[*subscriber]bool
@@ -43,13 +44,18 @@ func (b *broker) subscribe() *subscriber {
 	return sub
 }
 
-func (b *broker) unsubscribe(sub *subscriber) {
+// unsubscribe removes the subscriber and returns how many messages were
+// dropped on it, so the stream handler can report the loss before the
+// connection closes. Reading dropped under the lock is safe: once the
+// subscriber is out of the map no publisher touches it again.
+func (b *broker) unsubscribe(sub *subscriber) int64 {
 	b.mu.Lock()
+	defer b.mu.Unlock()
 	if b.subs[sub] {
 		delete(b.subs, sub)
 		close(sub.ch)
 	}
-	b.mu.Unlock()
+	return sub.dropped
 }
 
 // closeAll releases every subscriber (server drain).

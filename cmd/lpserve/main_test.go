@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -369,6 +370,54 @@ func TestShutdownDrainsQueuedJobs(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Errorf("post-shutdown POST /run status = %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestSubmitShutdownRace hammers submit from several goroutines while
+// shutdown closes the queue. A submission that passes the closing check
+// must never reach a closed channel (the old unlocked send panicked
+// here), and every accepted job must still drain to done.
+func TestSubmitShutdownRace(t *testing.T) {
+	srv := newServer(core.DefaultConfig(0.02), 2)
+	spec := core.MatrixJob{Model: "gawk", Allocator: "arena", Predictor: "true"}
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for n := 0; n < 25; n++ {
+				srv.submit(spec) // rejected once closing; must never panic
+			}
+		}()
+	}
+	close(start)
+	srv.shutdown()
+	wg.Wait()
+	for _, j := range srv.jobList() {
+		j.mu.Lock()
+		st := j.status
+		j.mu.Unlock()
+		if st != statusDone {
+			t.Errorf("job %d status after drain = %s, want done", j.ID, st)
+		}
+	}
+}
+
+// TestBrokerDropReporting overfills a subscriber's buffer and checks
+// unsubscribe surfaces exactly the overflow as the drop count.
+func TestBrokerDropReporting(t *testing.T) {
+	b := newBroker()
+	sub := b.subscribe()
+	for i := 0; i < subBuffer+5; i++ {
+		b.publish("x", i)
+	}
+	if n := b.unsubscribe(sub); n != 5 {
+		t.Errorf("dropped = %d, want 5", n)
+	}
+	if n := b.unsubscribe(sub); n != 5 {
+		t.Errorf("second unsubscribe dropped = %d, want 5 (idempotent)", n)
 	}
 }
 

@@ -144,7 +144,12 @@ func newServer(cfg core.Config, workers int) *server {
 	return s
 }
 
-// submit validates and enqueues a job.
+// submit validates and enqueues a job. The channel send happens under
+// s.mu: the buffered send with default never blocks, and shutdown()
+// only calls close(s.queue) after setting s.closing under the same
+// lock, so a submission can never race the close and panic. The job is
+// appended to s.jobs only once the send succeeds — a full queue leaves
+// no phantom job behind in /jobs or /healthz.
 func (s *server) submit(spec core.MatrixJob) (*job, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
@@ -155,16 +160,16 @@ func (s *server) submit(spec core.MatrixJob) (*job, error) {
 		return nil, fmt.Errorf("lpserve: shutting down, not accepting jobs")
 	}
 	j := &job{ID: len(s.jobs) + 1, Spec: spec, status: statusQueued}
-	s.jobs = append(s.jobs, j)
-	s.mu.Unlock()
 	select {
 	case s.queue <- j:
-		s.broker.publishJob(j)
-		return j, nil
+		s.jobs = append(s.jobs, j)
 	default:
-		j.finish(nil, fmt.Errorf("queue full (%d jobs)", queueCap))
-		return nil, fmt.Errorf("lpserve: job queue is full")
+		s.mu.Unlock()
+		return nil, fmt.Errorf("lpserve: job queue is full (%d jobs)", queueCap)
 	}
+	s.mu.Unlock()
+	s.broker.publishJob(j)
+	return j, nil
 }
 
 // worker drains the queue, running one replay at a time with a live
@@ -359,7 +364,14 @@ func (s *server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	fl.Flush()
 
 	sub := s.broker.subscribe()
-	defer s.broker.unsubscribe(sub)
+	defer func() {
+		// Best-effort: tell the client how many messages its slow
+		// consumption cost it before the stream ends.
+		if n := s.broker.unsubscribe(sub); n > 0 {
+			fmt.Fprintf(w, ": dropped %d messages\n\n", n)
+			fl.Flush()
+		}
+	}()
 	for {
 		select {
 		case msg, ok := <-sub.ch:
