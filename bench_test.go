@@ -314,6 +314,56 @@ func BenchmarkRunSimObserved(b *testing.B) {
 	}
 }
 
+// BenchmarkRunSimStreaming replays straight from the synthesis model
+// through core.RunSimSource with no materialized trace. With -benchmem
+// the interesting column is allocs/op: the streaming path's allocation
+// count is bounded by the live-object set and the free-block pool's
+// slab schedule, not the event count, so it stays essentially flat
+// across the 10x event spread between the 1x and 10x sub-benchmarks
+// (the old materialize-then-replay path grew linearly).
+func BenchmarkRunSimStreaming(b *testing.B) {
+	m := synth.ByName("gawk")
+	// Train once, outside the measured loop: per-iteration work is the
+	// replay alone, exactly what a `lpgen | lpsim` pipe does per event.
+	trainSrc, err := m.Source(synth.Config{Input: synth.Train, Seed: 1, Scale: 0.002})
+	if err != nil {
+		b.Fatal(err)
+	}
+	db, err := profile.TrainSource(trainSrc, profile.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	pred := db.Predictor()
+	for _, sc := range []struct {
+		name  string
+		scale float64
+	}{{"1x", 0.002}, {"10x", 0.02}} {
+		cfg := synth.Config{Input: synth.Test, Seed: 1, Scale: sc.scale}
+		for _, alloc := range []string{"arena", "firstfit"} {
+			alloc := alloc
+			b.Run("gawk/"+alloc+"/"+sc.name, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					src, err := m.Source(cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					var a heapsim.Allocator
+					var p *profile.Predictor
+					if alloc == "arena" {
+						a, p = heapsim.NewArena(), pred
+					} else {
+						a = heapsim.NewFirstFit()
+					}
+					if _, err := core.RunSimSource(src, a, p); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkGenerate measures raw trace-generation throughput.
 func BenchmarkGenerate(b *testing.B) {
 	m := lifetime.ModelByName("cfrac")

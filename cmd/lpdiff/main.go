@@ -1,14 +1,21 @@
 // Command lpdiff compares two observability exports — obs metric
-// snapshots (lpsim -obs) or bench files (lpbench) — and prints per-metric
-// delta and ratio tables. With -threshold it becomes a CI perf gate:
-// exit status 1 when any matching metric drifts past its allowance,
-// 0 otherwise.
+// snapshots (lpsim -obs), bench files (lpbench), or `go test -bench
+// -benchmem` text output — and prints per-metric delta and ratio tables.
+// With -threshold it becomes a CI perf gate: exit status 1 when any
+// matching metric drifts past its allowance, 0 otherwise.
 //
 // Usage:
 //
 //	lpdiff old-metrics.json new-metrics.json
 //	lpdiff -threshold sim_bytes_per_op+10% BENCH_seed.json new-bench.json
 //	lpdiff -threshold "sim_max_heap_bytes+5%,arena.fallbacks+0%" -all a.json b.json
+//	lpdiff -threshold allocs_per_op+25% BENCH_streaming.txt fresh.txt
+//
+// A go-bench text file yields one metric per value/unit column, keyed
+// BenchmarkName/sub/benchmark/unit with the GOMAXPROCS suffix stripped
+// and / in units rewritten to _per_ (ns/op -> ns_per_op, allocs/op ->
+// allocs_per_op), so `allocs_per_op+25%` gates every sub-benchmark's
+// allocation count while ignoring machine-dependent wall-clock columns.
 //
 // A threshold is metric name, then + or -, then a percent allowance:
 // name+10% fails when new > old×1.10 (an increase is a regression),
@@ -255,9 +262,11 @@ func checkThresholds(d diffSet, ts []threshold) []string {
 	return out
 }
 
-// loadMetrics sniffs a JSON file as a bench file or an obs snapshot and
-// returns a label plus its flattened metrics. Both formats carry a
-// schema field, so the sniff keys on "runs", which only bench files have.
+// loadMetrics sniffs a file as a bench JSON file, an obs snapshot, or
+// `go test -bench` text output and returns a label plus its flattened
+// metrics. The two JSON formats both carry a schema field, so the sniff
+// keys on "runs", which only bench files have; anything that is not
+// JSON is tried as go-bench text.
 func loadMetrics(path string) (string, map[string]float64, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -267,7 +276,11 @@ func loadMetrics(path string) (string, map[string]float64, error) {
 		Runs json.RawMessage `json:"runs"`
 	}
 	if err := json.Unmarshal(data, &probe); err != nil {
-		return "", nil, fmt.Errorf("%s: not JSON: %w", path, err)
+		label, m, berr := parseGoBench(data)
+		if berr != nil {
+			return "", nil, fmt.Errorf("%s: not JSON and %w", path, berr)
+		}
+		return label, m, nil
 	}
 	if probe.Runs != nil {
 		bench, err := core.ReadBench(bytes.NewReader(data))
@@ -285,4 +298,51 @@ func loadMetrics(path string) (string, map[string]float64, error) {
 		label = "obs snapshot"
 	}
 	return label, snap.Flatten(), nil
+}
+
+// parseGoBench extracts metrics from `go test -bench [-benchmem]` text
+// output. Each result line is the benchmark name, an iteration count,
+// then value/unit pairs:
+//
+//	BenchmarkRunSimStreaming/gawk/arena/1x-8  253  4422542 ns/op  69346 B/op  738 allocs/op
+//
+// The -N GOMAXPROCS suffix is stripped from the name and / in units
+// becomes _per_, giving keys like
+// BenchmarkRunSimStreaming/gawk/arena/1x/allocs_per_op that the
+// suffix-matching threshold grammar can gate across the whole matrix.
+func parseGoBench(data []byte) (string, map[string]float64, error) {
+	metrics := map[string]float64{}
+	label := "go-bench text"
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if pkg, ok := strings.CutPrefix(line, "pkg: "); ok {
+			label = "go-bench " + strings.TrimSpace(pkg)
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			unit := strings.ReplaceAll(fields[i+1], "/", "_per_")
+			metrics[name+"/"+unit] = v
+		}
+	}
+	if len(metrics) == 0 {
+		return "", nil, fmt.Errorf("no go-bench result lines found")
+	}
+	return label, metrics, nil
 }

@@ -16,6 +16,7 @@ import (
 
 	lifetime "repro"
 	"repro/internal/cliutil"
+	"repro/internal/trace"
 )
 
 const name = "lpgen"
@@ -45,7 +46,11 @@ func main() {
 		cliutil.UsageError(name, "unknown input %q (want train or test)", *input)
 	}
 
-	tr, err := lifetime.GenerateTrace(m, in, *seed, *scale)
+	// Generation, serialization, and the summary statistics all stream:
+	// each event goes straight from the model to the output writer and
+	// into the running statistics, so memory stays bounded by the live
+	// object set no matter the scale.
+	src, err := lifetime.GenerateSource(m, in, *seed, *scale)
 	if err != nil {
 		cliutil.Fatal(name, err)
 	}
@@ -63,18 +68,41 @@ func main() {
 		}()
 		w = f
 	}
+	type eventWriter interface {
+		Write(trace.Event) error
+		Close(funcCalls, nonHeapRefs int64) error
+	}
+	var ew eventWriter
 	if *text {
-		err = lifetime.WriteTraceText(w, tr)
+		ew, err = trace.NewTextWriter(w, src.Meta(), src.Table())
 	} else {
-		err = lifetime.WriteTrace(w, tr)
+		ew, err = lifetime.NewTraceStreamWriter(w, src.Meta(), src.Table())
 	}
 	if err != nil {
 		cliutil.Fatal(name, err)
 	}
-	st, err := lifetime.ComputeStats(tr)
-	if err != nil {
+
+	acc := trace.NewStatsAccum()
+	for {
+		ev, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			cliutil.Fatal(name, err)
+		}
+		if err := ew.Write(ev); err != nil {
+			cliutil.Fatal(name, err)
+		}
+		if err := acc.Add(ev); err != nil {
+			cliutil.Fatal(name, err)
+		}
+	}
+	meta := src.Meta() // trailer totals are final after io.EOF
+	if err := ew.Close(meta.FunctionCalls, meta.NonHeapRefs); err != nil {
 		cliutil.Fatal(name, err)
 	}
+	st := acc.Finish(meta.NonHeapRefs)
 	fmt.Fprintf(os.Stderr, "lpgen: %s/%s: %d events, %d objects, %d bytes, max live %d bytes\n",
-		*program, *input, len(tr.Events), st.TotalObjects, st.TotalBytes, st.MaxBytes)
+		*program, *input, acc.Events(), st.TotalObjects, st.TotalBytes, st.MaxBytes)
 }

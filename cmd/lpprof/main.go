@@ -47,10 +47,14 @@ func main() {
 		defer f.Close()
 		r = f
 	}
-	tr, err := lifetime.ReadTrace(r)
+	// Training streams: events decode one at a time (file or pipe) and
+	// fold into per-site statistics over a live-object map, so
+	// `lpgen ... -o - | lpprof -trace -` runs at constant memory.
+	src, err := lifetime.NewTraceReader(r)
 	if err != nil {
 		cliutil.Fatal(name, err)
 	}
+	program := src.Meta().Program
 
 	cfg := lifetime.DefaultProfileConfig()
 	cfg.ShortThreshold = *threshold
@@ -59,7 +63,7 @@ func main() {
 	cfg.SizeOnly = *sizeOnly
 	cfg.AdmitFraction = *admit
 
-	db, err := lifetime.TrainDB(tr, cfg)
+	db, err := lifetime.TrainDBSource(src, cfg)
 	if err != nil {
 		cliutil.Fatal(name, err)
 	}
@@ -77,10 +81,10 @@ func main() {
 		}()
 		w = f
 	}
-	if err := db.WriteJSON(w, tr.Program); err != nil {
+	if err := db.WriteJSON(w, program); err != nil {
 		cliutil.Fatal(name, err)
 	}
 	p := db.Predictor()
 	fmt.Fprintf(os.Stderr, "lpprof: %s: %d sites, %d admitted as short-lived predictors\n",
-		tr.Program, db.NumSites(), p.NumSites())
+		program, db.NumSites(), p.NumSites())
 }

@@ -15,6 +15,11 @@
 //	lpsim -trace test.trc -alloc arena -sites sites.json
 //	lpsim -trace test.trc -alloc arena -sites sites.json -obs metrics.json
 //	lpstats -metrics metrics.json
+//
+// The trace streams through the replay, so it can also arrive on stdin
+// with no intermediate file, at constant memory:
+//
+//	lpgen -program gawk -input test -o - | lpsim -trace - -alloc arena
 package main
 
 import (
@@ -33,7 +38,7 @@ import (
 const name = "lpsim"
 
 func main() {
-	tracePath := flag.String("trace", "", "input trace file (binary format)")
+	tracePath := flag.String("trace", "", "input trace file (binary format; - for stdin)")
 	allocName := flag.String("alloc", "arena", "allocator: arena, firstfit, bestfit, bsd")
 	sitesPath := flag.String("sites", "", "site database JSON (from lpprof); enables prediction")
 	callsPerAlloc := flag.Float64("calls-per-alloc", 0, "function calls per allocation for the CCE cost column (0 = use the trace's metadata)")
@@ -46,12 +51,19 @@ func main() {
 	if *tracePath == "" {
 		cliutil.UsageError(name, "missing -trace")
 	}
-	f, err := os.Open(*tracePath)
-	if err != nil {
-		cliutil.Fatal(name, err)
+	// The trace streams through the replay: events decode one at a time
+	// (from a file or a pipe), so `lpgen ... -o - | lpsim -trace -` runs
+	// at constant memory regardless of trace length.
+	var r io.Reader = os.Stdin
+	if *tracePath != "-" {
+		f, err := os.Open(*tracePath)
+		if err != nil {
+			cliutil.Fatal(name, err)
+		}
+		defer f.Close()
+		r = f
 	}
-	tr, err := lifetime.ReadTrace(f)
-	f.Close()
+	src, err := lifetime.NewTraceReader(r)
 	if err != nil {
 		cliutil.Fatal(name, err)
 	}
@@ -85,16 +97,19 @@ func main() {
 
 	var col *lifetime.ObsCollector
 	if *obsPath != "" {
+		// The program name comes from the stream header, available
+		// before the first event.
 		col = lifetime.NewObsCollector(lifetime.ObsOptions{
-			Label:            tr.Program + "/" + *allocName,
+			Label:            src.Meta().Program + "/" + *allocName,
 			TimelineInterval: *obsInterval,
 		})
 	}
 
-	res, err := lifetime.Simulate(tr, alloc, pred, col)
+	res, err := lifetime.SimulateSource(src, alloc, pred, col)
 	if err != nil {
 		cliutil.Fatal(name, err)
 	}
+	meta := src.Meta() // trailer totals are final after the replay
 
 	// With -obs -, stdout carries the JSON snapshot; the human-readable
 	// summary moves to stderr so the stream stays pipeable into lpstats.
@@ -102,7 +117,7 @@ func main() {
 	if *obsPath == "-" {
 		out = os.Stderr
 	}
-	fmt.Fprintf(out, "program:        %s (%s input)\n", tr.Program, tr.Input)
+	fmt.Fprintf(out, "program:        %s (%s input)\n", meta.Program, meta.Input)
 	fmt.Fprintf(out, "allocator:      %s\n", *allocName)
 	fmt.Fprintf(out, "allocations:    %d (%d bytes)\n", res.TotalAllocs, res.TotalBytes)
 	fmt.Fprintf(out, "max heap:       %d bytes (%d KB)\n", res.MaxHeap, res.MaxHeap>>10)
@@ -124,7 +139,7 @@ func main() {
 		cost = lifetime.CostArenaLen4(res.Counts, params)
 		cpa := *callsPerAlloc
 		if cpa == 0 && res.TotalAllocs > 0 {
-			cpa = float64(tr.FunctionCalls) / float64(res.TotalAllocs)
+			cpa = float64(meta.FunctionCalls) / float64(res.TotalAllocs)
 		}
 		cce := lifetime.CostArenaCCE(res.Counts, params, cpa)
 		fmt.Fprintf(out, "instr/op (cce): alloc %.1f, free %.1f, a+f %.1f\n",

@@ -18,6 +18,7 @@ package core
 
 import (
 	"fmt"
+	"io"
 	"sort"
 
 	"repro/internal/callchain"
@@ -54,6 +55,18 @@ func DefaultConfig(scale float64) Config {
 	}
 }
 
+// genConfig is the single source of truth for how experiment inputs map
+// to generator configs: the Train input uses SeedBase, the Test input
+// SeedBase+1000. Build and the streaming MatrixRunner both derive their
+// sources from it, which is what keeps their results byte-identical.
+func (c Config) genConfig(in synth.Input) synth.Config {
+	seed := c.SeedBase
+	if in == synth.Test {
+		seed += 1000
+	}
+	return synth.Config{Input: in, Seed: seed, Scale: c.Scale}
+}
+
 // Artifacts bundles everything derived from one model at one scale; the
 // experiments share it so traces are generated and annotated once.
 type Artifacts struct {
@@ -76,11 +89,11 @@ type Artifacts struct {
 func (c Config) Build(m *synth.Model) (*Artifacts, error) {
 	a := &Artifacts{Model: m}
 	var err error
-	a.TrainTrace, err = m.Generate(synth.Config{Input: synth.Train, Seed: c.SeedBase, Scale: c.Scale})
+	a.TrainTrace, err = m.Generate(c.genConfig(synth.Train))
 	if err != nil {
 		return nil, fmt.Errorf("core: generating %s train input: %w", m.Name, err)
 	}
-	a.TestTrace, err = m.Generate(synth.Config{Input: synth.Test, Seed: c.SeedBase + 1000, Scale: c.Scale})
+	a.TestTrace, err = m.Generate(c.genConfig(synth.Test))
 	if err != nil {
 		return nil, fmt.Errorf("core: generating %s test input: %w", m.Name, err)
 	}
@@ -308,16 +321,41 @@ func (t *obsTracker) finish(program string, tb *callchain.Table) *obs.Snapshot {
 // events; with no (or a nil) collector the replay and its SimResult are
 // identical to the uninstrumented behaviour.
 func RunSim(tr *trace.Trace, alloc heapsim.Allocator, pred *profile.Predictor, observers ...*obs.Collector) (SimResult, error) {
+	return RunSimSource(trace.NewSliceSource(tr), alloc, pred, observers...)
+}
+
+// RunSimSource replays a streaming event source through an allocator —
+// the engine behind RunSim and RunSimStream. Memory stays bounded by the
+// source's own state (for generated or file-backed sources, the live
+// object set), never the event count. The SimResult is identical to
+// replaying the materialized trace: same events, same table, same
+// predictor decisions. When a collector is attached and the source
+// implements trace.Counted, the observability snapshot also carries the
+// 25/50/75% phase marks; otherwise only the end phase is marked.
+func RunSimSource(src trace.Source, alloc heapsim.Allocator, pred *profile.Predictor, observers ...*obs.Collector) (SimResult, error) {
 	var mapper *profile.Mapper
 	if pred != nil {
-		mapper = pred.NewMapper(tr.Table)
+		mapper = pred.NewMapper(src.Table())
 	}
 	var ot *obsTracker
 	if col := pickCollector(observers); col != nil {
-		ot = newObsTracker(col, alloc, len(tr.Events))
+		n := 0
+		if c, ok := src.(trace.Counted); ok {
+			if cnt, known := c.EventCount(); known {
+				n = cnt
+			}
+		}
+		ot = newObsTracker(col, alloc, n)
 	}
 	res := SimResult{}
-	for i, ev := range tr.Events {
+	for i := 0; ; i++ {
+		ev, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return res, err
+		}
 		switch ev.Kind {
 		case trace.KindAlloc:
 			short := false
@@ -342,7 +380,7 @@ func RunSim(tr *trace.Trace, alloc heapsim.Allocator, pred *profile.Predictor, o
 	}
 	finishSim(&res, alloc)
 	if ot != nil {
-		res.Obs = ot.finish(tr.Program, tr.Table)
+		res.Obs = ot.finish(src.Meta().Program, src.Table())
 	}
 	return res, nil
 }
@@ -694,51 +732,23 @@ func (a *Artifacts) InternTables() (train, test *callchain.Table) {
 // object set, so paper-scale (and larger) simulations run in a few
 // megabytes. The predictor, when non-nil, is consulted against the chains
 // interned on the fly. An optional trailing obs.Collector records metrics
-// as in RunSim (the event count is unknown up front, so only the final
-// phase snapshot is marked).
+// as in RunSim; attaching one adds a deterministic counting dry run so the
+// snapshot carries the same 25/50/75% phase marks as the materialized
+// path — with no collector there is no pre-pass and generation stays
+// single-shot.
 func RunSimStream(m *synth.Model, gcfg synth.Config, alloc heapsim.Allocator, pred *profile.Predictor, observers ...*obs.Collector) (SimResult, error) {
-	tb := callchain.NewTable()
-	var mapper *profile.Mapper
-	if pred != nil {
-		mapper = pred.NewMapper(tb)
-	}
-	var ot *obsTracker
-	if col := pickCollector(observers); col != nil {
-		ot = newObsTracker(col, alloc, 0)
-	}
-	res := SimResult{}
-	err := m.Stream(gcfg, tb, func(ev trace.Event) error {
-		switch ev.Kind {
-		case trace.KindAlloc:
-			short := false
-			if mapper != nil {
-				short = mapper.PredictShort(ev.Chain, ev.Size)
-			}
-			if err := alloc.Alloc(ev.Obj, ev.Size, short); err != nil {
-				return err
-			}
-			res.TotalAllocs++
-			res.TotalBytes += ev.Size
-		case trace.KindFree:
-			if err := alloc.Free(ev.Obj); err != nil {
-				return err
-			}
-		default:
-			return fmt.Errorf("core: bad event kind %d", ev.Kind)
-		}
-		if ot != nil {
-			ot.step(ev)
-		}
-		return nil
-	})
+	src, err := m.Source(gcfg)
 	if err != nil {
-		return res, err
+		return SimResult{}, err
 	}
-	finishSim(&res, alloc)
-	if ot != nil {
-		res.Obs = ot.finish(m.Name, tb)
+	if pickCollector(observers) != nil {
+		n, err := m.CountEvents(gcfg)
+		if err != nil {
+			return SimResult{}, err
+		}
+		src.SetCount(n)
 	}
-	return res, nil
+	return RunSimSource(src, alloc, pred, observers...)
 }
 
 // RunSimSited replays a trace through the per-site arena allocator

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/callchain"
 	"repro/internal/heapsim"
 	"repro/internal/obs"
 	"repro/internal/profile"
@@ -116,16 +117,21 @@ func ParseMatrix(spec string) ([]MatrixJob, error) {
 	return jobs, nil
 }
 
-// MatrixRunner executes matrix jobs against one Config, building each
-// model's traces and predictors once and sharing them across jobs. All
-// methods are safe for concurrent use — lpserve's workers and RunAll's
-// pool run jobs in parallel, each with its own collector.
+// MatrixRunner executes matrix jobs against one Config. It never keeps a
+// materialized trace: what is cached per model is the pair of
+// streaming-trained predictors (true and self) plus the exact Test-input
+// event count, all derived from generator configs — a few kilobytes
+// instead of the full event list. Each job then regenerates its Test
+// events through a fresh synth.Source, so replay memory is bounded by
+// the live-object set. All methods are safe for concurrent use —
+// lpserve's workers and RunAll's pool run jobs in parallel, each with
+// its own collector.
 type MatrixRunner struct {
 	cfg Config
 
-	mu    sync.Mutex
-	arts  map[string]*artEntry
-	selfs map[string]*selfEntry
+	mu     sync.Mutex
+	arts   map[string]*artEntry
+	models map[string]*modelEntry
 }
 
 type artEntry struct {
@@ -134,21 +140,32 @@ type artEntry struct {
 	err  error
 }
 
-type selfEntry struct {
-	once sync.Once
-	pred *profile.Predictor
+// modelEntry is the per-model shared state: predictors and the test
+// event count, built once under the sync.Once. The predictors' chain
+// tables are pre-warmed against a scratch Test table during build, so
+// the concurrent per-job mappers only ever hit read-only lookups on the
+// shared tables (callchain.Table is not itself goroutine-safe).
+type modelEntry struct {
+	once       sync.Once
+	truePred   *profile.Predictor
+	selfPred   *profile.Predictor
+	testEvents int
+	err        error
 }
 
 // NewMatrixRunner returns a runner over the given experiment config.
 func NewMatrixRunner(cfg Config) *MatrixRunner {
 	return &MatrixRunner{
-		cfg:   cfg,
-		arts:  make(map[string]*artEntry),
-		selfs: make(map[string]*selfEntry),
+		cfg:    cfg,
+		arts:   make(map[string]*artEntry),
+		models: make(map[string]*modelEntry),
 	}
 }
 
-// Artifacts returns the (cached) built artifacts for a model.
+// Artifacts returns the (cached) fully materialized artifacts for a
+// model — traces, objects, and databases. Matrix jobs do not need them
+// (Run is fully streaming); this exists for table-rendering tools that
+// work over annotated object lists.
 func (r *MatrixRunner) Artifacts(model string) (*Artifacts, error) {
 	m := synth.ByName(model)
 	if m == nil {
@@ -165,45 +182,94 @@ func (r *MatrixRunner) Artifacts(model string) (*Artifacts, error) {
 	return e.art, e.err
 }
 
-// selfPredictor returns the (cached) predictor trained on a model's Test
-// input — the paper's self prediction for the measured run.
-func (r *MatrixRunner) selfPredictor(model string, a *Artifacts) *profile.Predictor {
+// model returns the (cached) streaming-trained per-model state.
+func (r *MatrixRunner) model(name string) (*modelEntry, error) {
+	m := synth.ByName(name)
+	if m == nil {
+		return nil, fmt.Errorf("core: unknown model %q", name)
+	}
 	r.mu.Lock()
-	e, ok := r.selfs[model]
+	e, ok := r.models[name]
 	if !ok {
-		e = &selfEntry{}
-		r.selfs[model] = e
+		e = &modelEntry{}
+		r.models[name] = e
 	}
 	r.mu.Unlock()
-	e.once.Do(func() {
-		db := profile.TrainObjects(a.TestTrace.Table, a.TestObjs, r.cfg.Profile)
-		e.pred = db.Predictor()
-	})
-	return e.pred
+	e.once.Do(func() { e.build(r.cfg, m) })
+	return e, e.err
+}
+
+func (e *modelEntry) build(cfg Config, m *synth.Model) {
+	train := func(in synth.Input) (*profile.Predictor, error) {
+		src, err := m.Source(cfg.genConfig(in))
+		if err != nil {
+			return nil, err
+		}
+		db, err := profile.TrainSource(src, cfg.Profile)
+		if err != nil {
+			return nil, err
+		}
+		return db.Predictor(), nil
+	}
+	if e.truePred, e.err = train(synth.Train); e.err != nil {
+		return
+	}
+	if e.selfPred, e.err = train(synth.Test); e.err != nil {
+		return
+	}
+	if e.testEvents, e.err = m.CountEvents(cfg.genConfig(synth.Test)); e.err != nil {
+		return
+	}
+	// Pre-warm the shared predictor tables: map every chain a Test
+	// replay can present (the per-job tables are deterministic copies of
+	// this scratch table) so the site chains and their function names
+	// are interned now, while we are still single-threaded. Concurrent
+	// jobs then only perform read-only lookups on the shared tables.
+	src, err := m.Source(cfg.genConfig(synth.Test))
+	if err != nil {
+		e.err = err
+		return
+	}
+	tb := src.Table()
+	for _, p := range []*profile.Predictor{e.truePred, e.selfPred} {
+		mapper := p.NewMapper(tb)
+		for id := 1; id < tb.NumChains(); id++ {
+			mapper.PredictShort(callchain.ChainID(id), 0)
+		}
+	}
 }
 
 // Run executes one matrix job, observing it through the optional
-// collector (which may be scraped concurrently mid-replay).
+// collector (which may be scraped concurrently mid-replay). The job's
+// Test events are regenerated through a fresh streaming source, so a
+// run's memory footprint is the live-object set, not the trace length;
+// the SimResult (including the obs snapshot) is byte-identical to
+// replaying the materialized Test trace.
 func (r *MatrixRunner) Run(j MatrixJob, col *obs.Collector) (SimResult, error) {
 	if err := j.Validate(); err != nil {
 		return SimResult{}, err
 	}
-	a, err := r.Artifacts(j.Model)
+	e, err := r.model(j.Model)
 	if err != nil {
 		return SimResult{}, err
 	}
 	var pred *profile.Predictor
 	switch j.Predictor {
 	case "true":
-		pred = a.TrainPredictor
+		pred = e.truePred
 	case "self":
-		pred = r.selfPredictor(j.Model, a)
+		pred = e.selfPred
 	}
 	alloc, err := NewAllocator(j.Allocator)
 	if err != nil {
 		return SimResult{}, err
 	}
-	return RunSim(a.TestTrace, alloc, pred, col)
+	src, err := synth.ByName(j.Model).Source(r.cfg.genConfig(synth.Test))
+	if err != nil {
+		return SimResult{}, err
+	}
+	src.SetCount(e.testEvents)
+	return RunSimSource(src, alloc, pred, col)
 }
 
 // MatrixResult pairs a job with its outcome.

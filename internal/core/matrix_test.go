@@ -7,6 +7,8 @@ import (
 	"testing"
 
 	"repro/internal/obs"
+	"repro/internal/profile"
+	"repro/internal/synth"
 )
 
 func TestParseMatrix(t *testing.T) {
@@ -101,6 +103,48 @@ func TestMatrixRunnerConcurrent(t *testing.T) {
 		if res.Res.MaxHeap != want.MaxHeap || res.Res.TotalBytes != want.TotalBytes {
 			t.Errorf("job %s: observed run (heap %d, bytes %d) != plain run (heap %d, bytes %d)",
 				res.Job, res.Res.MaxHeap, res.Res.TotalBytes, want.MaxHeap, want.TotalBytes)
+		}
+	}
+}
+
+// TestMatrixStreamingMatchesMaterialized pins the runner redesign: a
+// matrix job replayed through the cached-config streaming path must
+// produce the same SimResult — snapshot included — as the old
+// materialized path (Build the artifacts, train on annotated objects,
+// RunSim over the Test trace). This rests on two equivalences that are
+// tested individually elsewhere and composed here: the synth Source is
+// bit-identical to Generate, and streaming (death-order) training admits
+// exactly the sites that birth-order training admits.
+func TestMatrixStreamingMatchesMaterialized(t *testing.T) {
+	cfg := DefaultConfig(testScale)
+	r := NewMatrixRunner(cfg)
+	for _, j := range []MatrixJob{
+		{Model: "gawk", Allocator: "arena", Predictor: "true"},
+		{Model: "gawk", Allocator: "arena", Predictor: "self"},
+		{Model: "cfrac", Allocator: "firstfit", Predictor: "none"},
+	} {
+		got, err := r.Run(j, obs.NewCollector(obs.Options{Label: j.String()}))
+		if err != nil {
+			t.Fatalf("%s: %v", j, err)
+		}
+		a, err := cfg.Build(synth.ByName(j.Model))
+		if err != nil {
+			t.Fatalf("%s: %v", j, err)
+		}
+		var pred *profile.Predictor
+		switch j.Predictor {
+		case "true":
+			pred = a.TrainPredictor
+		case "self":
+			pred = profile.TrainObjects(a.TestTrace.Table, a.TestObjs, cfg.Profile).Predictor()
+		}
+		want, err := RunSim(a.TestTrace, MustNewAllocator(j.Allocator), pred,
+			obs.NewCollector(obs.Options{Label: j.String()}))
+		if err != nil {
+			t.Fatalf("%s: %v", j, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: streaming matrix run diverges from materialized run", j)
 		}
 	}
 }

@@ -128,8 +128,46 @@ func TestObservedRunSim(t *testing.T) {
 	}
 }
 
-// TestObservedRunSimStream checks the streaming replay produces a
-// snapshot with an end phase (quartiles need a known length).
+// TestRunSimSourceIdentity is the tentpole acceptance gate: for every
+// model, replaying a streaming synth.Source through RunSimSource must
+// produce a SimResult — observability snapshot included — identical to
+// the slice-based replay of the materialized trace.
+func TestRunSimSourceIdentity(t *testing.T) {
+	for _, name := range ProgramOrder {
+		m := synth.ByName(name)
+		gcfg := synth.Config{Input: synth.Test, Seed: 7, Scale: 0.01}
+		tr, err := m.Generate(gcfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, aname := range AllocatorNames {
+			want, err := RunSim(tr, MustNewAllocator(aname), nil,
+				obs.NewCollector(obs.Options{Label: name}))
+			if err != nil {
+				t.Fatalf("%s/%s slice: %v", name, aname, err)
+			}
+			src, err := m.Source(gcfg)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, aname, err)
+			}
+			src.SetCount(len(tr.Events))
+			got, err := RunSimSource(src, MustNewAllocator(aname), nil,
+				obs.NewCollector(obs.Options{Label: name}))
+			if err != nil {
+				t.Fatalf("%s/%s stream: %v", name, aname, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("%s/%s: streaming SimResult diverges from slice replay", name, aname)
+			}
+		}
+	}
+}
+
+// TestObservedRunSimStream checks the streaming replay produces the
+// complete snapshot — the counting dry run supplies the event count, so
+// the quartile phase marks land exactly where the materialized path puts
+// them — and that the whole observed SimResult, snapshot included, is
+// identical to replaying the materialized trace.
 func TestObservedRunSimStream(t *testing.T) {
 	m := synth.ByName("cfrac")
 	gcfg := synth.Config{Input: synth.Test, Seed: 7, Scale: 0.01}
@@ -145,25 +183,30 @@ func TestObservedRunSimStream(t *testing.T) {
 	if s.Program != "cfrac" {
 		t.Errorf("program = %q", s.Program)
 	}
-	if len(s.Phases) != 1 || s.Phases[len(s.Phases)-1].Label != "end" {
-		t.Errorf("stream phases = %+v, want just end", s.Phases)
+	wantLabels := []string{"25%", "50%", "75%", "end"}
+	if len(s.Phases) != len(wantLabels) {
+		t.Fatalf("stream phases = %+v, want %v", s.Phases, wantLabels)
+	}
+	for i, ph := range s.Phases {
+		if ph.Label != wantLabels[i] {
+			t.Errorf("phase %d label = %q, want %q", i, ph.Label, wantLabels[i])
+		}
 	}
 	if len(s.Timeline) == 0 {
 		t.Error("no timeline samples")
 	}
 
-	// Streaming and materialized replays of the same generator must agree.
+	// Streaming and materialized observed replays of the same generator
+	// must agree on everything, the snapshot included.
 	tr, err := m.Generate(gcfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	mat, err := RunSim(tr, heapsim.NewFirstFit(), nil)
+	mat, err := RunSim(tr, heapsim.NewFirstFit(), nil, obs.NewCollector(obs.Options{}))
 	if err != nil {
 		t.Fatal(err)
 	}
-	res.Obs = nil
-	mat.Obs = nil
 	if !reflect.DeepEqual(res, mat) {
-		t.Errorf("stream %+v != materialized %+v", res, mat)
+		t.Errorf("observed stream diverges from materialized:\n stream %+v\n mater  %+v", res, mat)
 	}
 }

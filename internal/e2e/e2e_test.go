@@ -152,6 +152,35 @@ func TestStdinPipe(t *testing.T) {
 	}
 }
 
+// TestGenSimPipe pipes lpgen straight into lpsim with no intermediate
+// file and requires the simulation result to be byte-identical to the
+// file-based run — the constant-memory streaming contract.
+func TestGenSimPipe(t *testing.T) {
+	bin := bins(t)
+	dir := t.TempDir()
+	trc := filepath.Join(dir, "t.trc")
+
+	genArgs := "-program gawk -input test -scale 0.02 -seed 3"
+	if _, stderr, code := run(t, bin, "lpgen",
+		"-program", "gawk", "-input", "test", "-scale", "0.02", "-seed", "3", "-o", trc); code != 0 {
+		t.Fatalf("lpgen exited %d: %s", code, stderr)
+	}
+	fileOut, stderr, code := run(t, bin, "lpsim", "-trace", trc, "-alloc", "arena")
+	if code != 0 {
+		t.Fatalf("file-based lpsim exited %d: %s", code, stderr)
+	}
+
+	pipe := fmt.Sprintf("%s %s -o - | %s -trace - -alloc arena",
+		filepath.Join(bin, "lpgen"), genArgs, filepath.Join(bin, "lpsim"))
+	pipeOut, err := exec.Command("sh", "-c", pipe).Output()
+	if err != nil {
+		t.Fatalf("lpgen | lpsim pipe failed: %v", err)
+	}
+	if fileOut != string(pipeOut) {
+		t.Errorf("piped lpsim output differs from file-based run:\nfile:\n%s\npipe:\n%s", fileOut, pipeOut)
+	}
+}
+
 // TestDiffGate proves the CI contract: lpdiff exits 0 comparing a bench
 // file against itself and 1 when a gated metric regresses.
 func TestDiffGate(t *testing.T) {

@@ -77,7 +77,8 @@ func (b *BestFit) commit(id trace.ObjectID, size, need int64, blk *ffBlock) erro
 		if ff.obs != nil {
 			ff.obs.splits.Inc()
 		}
-		rest := &ffBlock{addr: blk.addr + need, size: blk.size - need, free: true}
+		rest := ff.pool.get()
+		rest.addr, rest.size, rest.free = blk.addr+need, blk.size-need, true
 		rest.aPrev, rest.aNext = blk, blk.aNext
 		if blk.aNext != nil {
 			blk.aNext.aPrev = rest

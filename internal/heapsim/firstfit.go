@@ -46,6 +46,7 @@ type FirstFit struct {
 	freeHead   *ffBlock // circular free list
 	rover      *ffBlock
 	freeBlocks int
+	pool       ffBlockPool
 
 	live map[trace.ObjectID]*ffBlock
 	ops  OpCounts
@@ -57,6 +58,47 @@ type ffBlock struct {
 	free         bool
 	aPrev, aNext *ffBlock // address order
 	fPrev, fNext *ffBlock // circular free list (only valid when free)
+}
+
+// ffBlockPool recycles ffBlock records so steady-state replay performs no
+// per-event heap allocation: coalescing releases a record, the next split
+// or extend reuses it. Fresh records come from slabs grown geometrically
+// (so a replay needing N simultaneous blocks performs O(log N) slab
+// allocations), and released records are fully zeroed so a recycled block
+// never retains pointers into the dead block graph.
+type ffBlockPool struct {
+	free     *ffBlock  // LIFO reuse list, linked through aNext
+	slab     []ffBlock // current slab, consumed from the front
+	slabSize int
+}
+
+const (
+	ffSlabStart = 64
+	ffSlabCap   = 64 << 10
+)
+
+func (p *ffBlockPool) get() *ffBlock {
+	if b := p.free; b != nil {
+		p.free = b.aNext
+		b.aNext = nil
+		return b
+	}
+	if len(p.slab) == 0 {
+		if p.slabSize == 0 {
+			p.slabSize = ffSlabStart
+		} else if p.slabSize < ffSlabCap {
+			p.slabSize *= 2
+		}
+		p.slab = make([]ffBlock, p.slabSize)
+	}
+	b := &p.slab[0]
+	p.slab = p.slab[1:]
+	return b
+}
+
+func (p *ffBlockPool) put(b *ffBlock) {
+	*b = ffBlock{aNext: p.free}
+	p.free = b
 }
 
 // NewFirstFit returns a first-fit simulator with the default geometry.
@@ -175,7 +217,8 @@ func (ff *FirstFit) extend(need int64) {
 		ff.tail.size += growth
 		return
 	}
-	b := &ffBlock{addr: start, size: growth, free: true}
+	b := ff.pool.get()
+	b.addr, b.size, b.free = start, growth, true
 	b.aPrev = ff.tail
 	if ff.tail != nil {
 		ff.tail.aNext = b
@@ -219,7 +262,8 @@ func (ff *FirstFit) Alloc(id trace.ObjectID, size int64, _ bool) error {
 		if ff.obs != nil {
 			ff.obs.splits.Inc()
 		}
-		rest := &ffBlock{addr: b.addr + need, size: b.size - need, free: true}
+		rest := ff.pool.get()
+		rest.addr, rest.size, rest.free = b.addr+need, b.size-need, true
 		rest.aPrev, rest.aNext = b, b.aNext
 		if b.aNext != nil {
 			b.aNext.aPrev = rest
@@ -300,6 +344,7 @@ func (ff *FirstFit) Free(id trace.ObjectID) error {
 		} else {
 			ff.tail = p
 		}
+		ff.pool.put(b)
 		b = p
 	} else {
 		ff.freeListInsert(b)
@@ -319,6 +364,7 @@ func (ff *FirstFit) Free(id trace.ObjectID) error {
 		} else {
 			ff.tail = b
 		}
+		ff.pool.put(n)
 	}
 	if ff.RoverOnFree {
 		ff.rover = b

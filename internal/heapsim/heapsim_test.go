@@ -641,3 +641,52 @@ func TestSiteArenaOversized(t *testing.T) {
 	}
 	mustFree(t, sa, 1)
 }
+
+// TestFFBlockPoolRecycles checks the block pool's two promises: records
+// released by coalescing are handed back by later splits (no unbounded
+// growth), and a recycled record arrives fully zeroed.
+func TestFFBlockPoolRecycles(t *testing.T) {
+	var p ffBlockPool
+	a := p.get()
+	a.addr, a.size, a.free = 1, 2, true
+	a.aPrev, a.fNext = a, a
+	p.put(a)
+	b := p.get()
+	if b != a {
+		t.Fatal("released record not reused LIFO")
+	}
+	if *b != (ffBlock{}) {
+		t.Fatalf("recycled record not zeroed: %+v", *b)
+	}
+	// Slabs grow geometrically and are consumed record by record.
+	seen := map[*ffBlock]bool{b: true}
+	for i := 0; i < 10_000; i++ {
+		nb := p.get()
+		if seen[nb] {
+			t.Fatalf("fresh get returned a live record after %d gets", i)
+		}
+		seen[nb] = true
+	}
+	// A churn loop through the allocator itself must keep the structures
+	// sound while blocks recycle underneath it.
+	ff := NewFirstFit()
+	for i := 0; i < 2000; i++ {
+		id := trace.ObjectID(i)
+		if err := ff.Alloc(id, int64(16+i%512), false); err != nil {
+			t.Fatal(err)
+		}
+		if i%3 != 0 {
+			if err := ff.Free(id); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if i%500 == 0 {
+			if err := ff.CheckInvariants(); err != nil {
+				t.Fatalf("iteration %d: %v", i, err)
+			}
+		}
+	}
+	if err := ff.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

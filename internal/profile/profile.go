@@ -170,6 +170,28 @@ func Train(tr *trace.Trace, cfg Config) (*DB, error) {
 	return TrainObjects(tr.Table, objs, cfg), nil
 }
 
+// TrainSource builds a site database from a streaming event source,
+// holding only the live-object set and the per-site statistics — never
+// the trace. The source's chain table becomes the DB's table.
+//
+// Objects reach the database in death order (never-freed objects last)
+// rather than Annotate's birth order. The exact-count admission rule is
+// order-insensitive, so the resulting Predictor is identical to one
+// trained via Train/TrainObjects on the materialized trace; only the P²
+// quantile histograms (consulted when Config.HistogramRule is set) are
+// insertion-order sensitive and may differ in their interior markers.
+func TrainSource(src trace.Source, cfg Config) (*DB, error) {
+	cfg = cfg.withDefaults()
+	db := &DB{Config: cfg, Table: src.Table(), Sites: make(map[SiteKey]*SiteStats)}
+	if err := trace.AnnotateStream(src, func(o trace.Object) error {
+		db.addObject(&o)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
 // TrainObjects builds a site database from pre-annotated objects whose
 // chains live in tb.
 func TrainObjects(tb *callchain.Table, objs []trace.Object, cfg Config) *DB {

@@ -1,0 +1,110 @@
+package synth
+
+import (
+	"io"
+	"reflect"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// TestSourceMatchesGenerate pins the load-bearing equivalence: for every
+// model and both inputs, the pull-shaped Source yields exactly the event
+// sequence, chain table, and trailer metadata that Generate materializes.
+// All downstream determinism (calibration pins, the committed bench
+// baseline) rides on this.
+func TestSourceMatchesGenerate(t *testing.T) {
+	for _, m := range All() {
+		for _, in := range []Input{Train, Test} {
+			cfg := Config{Input: in, Seed: 42, Scale: 0.01}
+			want, err := m.Generate(cfg)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", m.Name, in, err)
+			}
+			src, err := m.Source(cfg)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", m.Name, in, err)
+			}
+			got, err := trace.Collect(src)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", m.Name, in, err)
+			}
+			if got.Program != want.Program || got.Input != want.Input {
+				t.Fatalf("%s/%s: meta %s/%s != %s/%s", m.Name, in,
+					got.Program, got.Input, want.Program, want.Input)
+			}
+			if got.FunctionCalls != want.FunctionCalls || got.NonHeapRefs != want.NonHeapRefs {
+				t.Fatalf("%s/%s: trailer %d/%d != %d/%d", m.Name, in,
+					got.FunctionCalls, got.NonHeapRefs, want.FunctionCalls, want.NonHeapRefs)
+			}
+			if !reflect.DeepEqual(got.Events, want.Events) {
+				t.Fatalf("%s/%s: event sequences diverge", m.Name, in)
+			}
+			if got.Table.NumChains() != want.Table.NumChains() ||
+				got.Table.NumFuncs() != want.Table.NumFuncs() {
+				t.Fatalf("%s/%s: tables diverge", m.Name, in)
+			}
+			for i := range got.Events {
+				if got.Events[i].Kind != trace.KindAlloc {
+					continue
+				}
+				if got.Table.String(got.Events[i].Chain) != want.Table.String(want.Events[i].Chain) {
+					t.Fatalf("%s/%s: event %d chain diverges", m.Name, in, i)
+				}
+			}
+		}
+	}
+}
+
+func TestCountEvents(t *testing.T) {
+	m := GAWK()
+	cfg := Config{Input: Test, Seed: 7, Scale: 0.005}
+	n, err := m.CountEvents(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := m.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(tr.Events) {
+		t.Fatalf("CountEvents = %d, Generate yields %d", n, len(tr.Events))
+	}
+
+	src, err := m.Source(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, known := src.EventCount(); known {
+		t.Fatal("count must be unknown before SetCount")
+	}
+	src.SetCount(n)
+	if got, known := src.EventCount(); !known || got != n {
+		t.Fatalf("EventCount = %d,%v, want %d,true", got, known, n)
+	}
+}
+
+func TestSourceConfigErrors(t *testing.T) {
+	m := CFRAC()
+	if _, err := m.Source(Config{Scale: 0}); err == nil {
+		t.Fatal("zero scale accepted")
+	}
+	// A drained source stays drained.
+	src, err := m.Source(Config{Input: Train, Seed: 1, Scale: 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := src.Next(); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := src.Next(); err != io.EOF {
+		t.Fatalf("post-EOF Next = %v", err)
+	}
+	if src.Meta().FunctionCalls == 0 {
+		t.Fatal("trailer metadata missing after EOF")
+	}
+}

@@ -16,10 +16,9 @@
 package synth
 
 import (
-	"container/heap"
 	"fmt"
+	"io"
 	"math"
-	"sort"
 	"strings"
 
 	"repro/internal/callchain"
@@ -428,17 +427,53 @@ type deathEvent struct {
 	obj       trace.ObjectID
 }
 
+// deathHeap is a min-heap on deathTime. The sift algorithms mirror
+// container/heap exactly — same comparison and swap sequences, so
+// tie-breaking on equal death times is bit-identical to the boxed
+// implementation this replaces — but without the interface{} boxing,
+// which cost one heap allocation per scheduled death and made event
+// generation O(objects) in allocations.
 type deathHeap []deathEvent
 
-func (h deathHeap) Len() int            { return len(h) }
-func (h deathHeap) Less(i, j int) bool  { return h[i].deathTime < h[j].deathTime }
-func (h deathHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *deathHeap) Push(x interface{}) { *h = append(*h, x.(deathEvent)) }
-func (h *deathHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	*h = old[:n-1]
+// push appends ev and sifts it up (container/heap.Push).
+func (h *deathHeap) push(ev deathEvent) {
+	*h = append(*h, ev)
+	s := *h
+	j := len(s) - 1
+	for {
+		i := (j - 1) / 2 // parent
+		if i == j || s[i].deathTime <= s[j].deathTime {
+			break
+		}
+		s[i], s[j] = s[j], s[i]
+		j = i
+	}
+}
+
+// pop removes and returns the earliest death (container/heap.Pop: swap
+// root with last, sift the new root down over the shortened heap).
+func (h *deathHeap) pop() deathEvent {
+	s := *h
+	n := len(s) - 1
+	s[0], s[n] = s[n], s[0]
+	i := 0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n {
+			break
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && s[j2].deathTime < s[j1].deathTime {
+			j = j2
+		}
+		if s[i].deathTime <= s[j].deathTime {
+			break
+		}
+		s[i], s[j] = s[j], s[i]
+		i = j
+	}
+	ev := s[n]
+	*h = s[:n]
 	return ev
 }
 
@@ -474,144 +509,25 @@ func (m *Model) Generate(cfg Config) (*trace.Trace, error) {
 // Stream generates the model's events in order, calling emit for each one,
 // interning chains into tb. It allocates only O(live objects) memory, so
 // paper-scale runs (millions of objects) need not materialize a trace.
+// Stream is a push-shaped driver over SourceInto; the pull-shaped Source
+// is the same generator, so both produce bit-identical event sequences.
 func (m *Model) Stream(cfg Config, tb *callchain.Table, emit func(trace.Event) error) error {
-	if cfg.Scale <= 0 {
-		return fmt.Errorf("synth: non-positive scale %v", cfg.Scale)
+	src, err := m.SourceInto(cfg, tb)
+	if err != nil {
+		return err
 	}
-	in := cfg.Input
-	if in == "" {
-		in = Train
-	}
-	master := xrand.New(cfg.Seed ^ 0xa5a5a5a5a5a5a5a5)
-	specs := m.expand(tb, in, master)
-
-	// Phase segmentation: split [0,1) at every site's phase boundary and
-	// build one weighted sampler per segment over the sites active in it.
-	// Within a segment, a site's object weight is its byte share divided
-	// by its phase duration (so its total volume is independent of the
-	// window width) and by its mean object size.
-	boundsSet := map[float64]bool{0: true, 1: true}
-	phase := func(s *expandedSpec) (lo, hi float64) {
-		lo, hi = s.PhaseStart, s.PhaseEnd
-		if hi <= lo {
-			lo, hi = 0, 1
+	for {
+		ev, err := src.Next()
+		if err == io.EOF {
+			return nil
 		}
-		return lo, hi
-	}
-	for _, s := range specs {
-		lo, hi := phase(s)
-		if lo < 0 || hi > 1 {
-			return fmt.Errorf("synth: phase window [%v,%v) out of [0,1]", lo, hi)
-		}
-		boundsSet[lo] = true
-		boundsSet[hi] = true
-	}
-	bounds := make([]float64, 0, len(boundsSet))
-	for b := range boundsSet {
-		bounds = append(bounds, b)
-	}
-	sort.Float64s(bounds)
-
-	type segment struct {
-		end     int64 // byte position where the segment ends
-		sampler *xrand.Weighted
-		active  []*expandedSpec
-	}
-	budget := int64(float64(m.TotalBytes) * cfg.Scale)
-	var segments []segment
-	anyActive := false
-	for si := 0; si+1 < len(bounds); si++ {
-		lo, hi := bounds[si], bounds[si+1]
-		var active []*expandedSpec
-		var weights []float64
-		for _, s := range specs {
-			plo, phi := phase(s)
-			if plo > lo+1e-12 || phi < hi-1e-12 {
-				continue
-			}
-			f := s.byteFrac(in)
-			if f < 0 {
-				return fmt.Errorf("synth: negative byte fraction for %v", s.Chain)
-			}
-			mean := s.Sizes.Mean(in)
-			if mean <= 0 {
-				return fmt.Errorf("synth: non-positive mean size for %v", s.Chain)
-			}
-			w := f / (phi - plo) / mean
-			if w > 0 {
-				active = append(active, s)
-				weights = append(weights, w)
-			}
-		}
-		seg := segment{end: int64(hi * float64(budget))}
-		if len(active) > 0 {
-			seg.sampler = xrand.NewWeighted(master, weights)
-			seg.active = active
-			anyActive = true
-		}
-		segments = append(segments, seg)
-	}
-	if !anyActive {
-		return fmt.Errorf("synth: model %s has no active sites for input %s", m.Name, in)
-	}
-
-	var (
-		bytes   int64
-		nextID  trace.ObjectID
-		pending deathHeap
-		segIdx  int
-	)
-	for bytes < budget {
-		for segIdx+1 < len(segments) && (bytes >= segments[segIdx].end || segments[segIdx].sampler == nil) {
-			segIdx++
-		}
-		seg := &segments[segIdx]
-		if seg.sampler == nil {
-			// No sites are active in the final segment; stop early.
-			break
-		}
-		// Emit any deaths that have come due.
-		for len(pending) > 0 && pending[0].deathTime <= bytes {
-			ev := heap.Pop(&pending).(deathEvent)
-			if err := emit(trace.Event{Kind: trace.KindFree, Obj: ev.obj}); err != nil {
-				return err
-			}
-		}
-		s := seg.active[seg.sampler.Next()]
-		size := s.Sizes.sample(s.rng, in)
-		refs := int64(s.RefsPerObject + s.RefsPerByte*float64(size))
-		obj := nextID
-		nextID++
-		if err := emit(trace.Event{
-			Kind:  trace.KindAlloc,
-			Obj:   obj,
-			Size:  size,
-			Chain: s.chainID,
-			Refs:  refs,
-		}); err != nil {
+		if err != nil {
 			return err
 		}
-		bytes += size
-		life := s.life(in).sample(s.rng)
-		if life != immortal {
-			// Lifetime counts bytes allocated after (and including)
-			// this object; the minimum observable lifetime is the
-			// object's own size.
-			if life < size {
-				life = size
-			}
-			heap.Push(&pending, deathEvent{deathTime: bytes - size + life, obj: obj})
-		}
-	}
-	// Drain deaths that fall within the generated period. Anything later
-	// stays unfreed, i.e. alive at program exit.
-	for len(pending) > 0 && pending[0].deathTime <= bytes {
-		ev := heap.Pop(&pending).(deathEvent)
-		if err := emit(trace.Event{Kind: trace.KindFree, Obj: ev.obj}); err != nil {
+		if err := emit(ev); err != nil {
 			return err
 		}
 	}
-	return nil
 }
 
 // TotalSites reports how many distinct allocation sites (chain x size) the

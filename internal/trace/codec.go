@@ -5,9 +5,6 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
-	"strings"
-
-	"repro/internal/callchain"
 )
 
 // The binary trace format, all integers unsigned varints unless noted:
@@ -62,29 +59,8 @@ func WriteBinary(w io.Writer, tr *Trace) error {
 	if err := cw.uvarint(uint64(tr.NonHeapRefs)); err != nil {
 		return err
 	}
-	nf := tr.Table.NumFuncs()
-	if err := cw.uvarint(uint64(nf)); err != nil {
+	if err := writeTable(cw, tr.Table); err != nil {
 		return err
-	}
-	for i := 0; i < nf; i++ {
-		if err := cw.str(tr.Table.FuncName(callchain.FuncID(i))); err != nil {
-			return err
-		}
-	}
-	nc := tr.Table.NumChains()
-	if err := cw.uvarint(uint64(nc - 1)); err != nil {
-		return err
-	}
-	for i := 1; i < nc; i++ {
-		fs := tr.Table.Funcs(callchain.ChainID(i))
-		if err := cw.uvarint(uint64(len(fs))); err != nil {
-			return err
-		}
-		for _, f := range fs {
-			if err := cw.uvarint(uint64(f)); err != nil {
-				return err
-			}
-		}
 	}
 	if err := cw.uvarint(uint64(len(tr.Events))); err != nil {
 		return err
@@ -134,120 +110,17 @@ func (cr countingReader) str() (string, error) {
 	return string(buf), nil
 }
 
-// ReadBinary parses a trace previously written by WriteBinary. The trace
-// gets a fresh callchain.Table; chain ids are preserved exactly.
+// ReadBinary parses a trace previously written by WriteBinary (or by the
+// streaming Writer — both magics are accepted). The trace gets a fresh
+// callchain.Table; chain ids are preserved exactly. It is Collect over
+// NewReader: the capacity hint is clamped, so a forged event count can
+// no longer force a proportional allocation up front.
 func ReadBinary(r io.Reader) (*Trace, error) {
-	br := bufio.NewReaderSize(r, 1<<16)
-	cr := countingReader{br}
-	magic := make([]byte, len(binaryMagic))
-	if _, err := io.ReadFull(br, magic); err != nil {
-		return nil, fmt.Errorf("trace: reading magic: %w", err)
-	}
-	if string(magic) != binaryMagic {
-		return nil, fmt.Errorf("trace: bad magic %q", magic)
-	}
-	tr := &Trace{Table: callchain.NewTable()}
-	var err error
-	if tr.Program, err = cr.str(); err != nil {
-		return nil, err
-	}
-	if tr.Input, err = cr.str(); err != nil {
-		return nil, err
-	}
-	fc, err := cr.uvarint()
+	src, err := NewReader(r)
 	if err != nil {
 		return nil, err
 	}
-	tr.FunctionCalls = int64(fc)
-	nhr, err := cr.uvarint()
-	if err != nil {
-		return nil, err
-	}
-	tr.NonHeapRefs = int64(nhr)
-
-	nf, err := cr.uvarint()
-	if err != nil {
-		return nil, err
-	}
-	for i := uint64(0); i < nf; i++ {
-		name, err := cr.str()
-		if err != nil {
-			return nil, err
-		}
-		if got := tr.Table.Func(name); uint64(got) != i {
-			return nil, fmt.Errorf("trace: duplicate function name %q in table", name)
-		}
-	}
-	nc, err := cr.uvarint()
-	if err != nil {
-		return nil, err
-	}
-	for i := uint64(0); i < nc; i++ {
-		cl, err := cr.uvarint()
-		if err != nil {
-			return nil, err
-		}
-		if cl > 1<<16 {
-			return nil, fmt.Errorf("trace: chain length %d too large", cl)
-		}
-		fs := make([]callchain.FuncID, cl)
-		for j := range fs {
-			v, err := cr.uvarint()
-			if err != nil {
-				return nil, err
-			}
-			if v >= nf {
-				return nil, fmt.Errorf("trace: chain references unknown function %d", v)
-			}
-			fs[j] = callchain.FuncID(v)
-		}
-		if got := tr.Table.Intern(fs); uint64(got) != i+1 {
-			return nil, fmt.Errorf("trace: duplicate chain %d in table", i+1)
-		}
-	}
-	ne, err := cr.uvarint()
-	if err != nil {
-		return nil, err
-	}
-	tr.Events = make([]Event, 0, ne)
-	for i := uint64(0); i < ne; i++ {
-		kb, err := br.ReadByte()
-		if err != nil {
-			return nil, err
-		}
-		ev := Event{Kind: Kind(kb)}
-		obj, err := cr.uvarint()
-		if err != nil {
-			return nil, err
-		}
-		ev.Obj = ObjectID(obj)
-		switch ev.Kind {
-		case KindAlloc:
-			sz, err := cr.uvarint()
-			if err != nil {
-				return nil, err
-			}
-			ch, err := cr.uvarint()
-			if err != nil {
-				return nil, err
-			}
-			if ch >= uint64(tr.Table.NumChains()) {
-				return nil, fmt.Errorf("trace: event %d references unknown chain %d", i, ch)
-			}
-			refs, err := cr.uvarint()
-			if err != nil {
-				return nil, err
-			}
-			ev.Size = int64(sz)
-			ev.Chain = callchain.ChainID(ch)
-			ev.Refs = int64(refs)
-		case KindFree:
-		default:
-			return nil, fmt.Errorf("trace: event %d: bad kind %d", i, kb)
-		}
-		tr.Events = append(tr.Events, ev)
-	}
-	return tr, nil
+	return Collect(src)
 }
 
 // WriteText writes a human-readable rendering of the trace, one event per
@@ -271,79 +144,8 @@ func WriteText(w io.Writer, tr *Trace) error {
 	return bw.Flush()
 }
 
-// ReadText parses the text rendering produced by WriteText.
+// ReadText parses the text rendering produced by WriteText or
+// TextWriter. It is Collect over NewTextReader.
 func ReadText(r io.Reader) (*Trace, error) {
-	tr := &Trace{Table: callchain.NewTable()}
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<16), 1<<20)
-	lineNo := 0
-	for sc.Scan() {
-		lineNo++
-		line := strings.TrimSpace(sc.Text())
-		if line == "" {
-			continue
-		}
-		if strings.HasPrefix(line, "#") {
-			for _, field := range strings.Fields(strings.TrimPrefix(line, "#")) {
-				k, v, ok := strings.Cut(field, "=")
-				if !ok {
-					continue
-				}
-				switch k {
-				case "program":
-					tr.Program = v
-				case "input":
-					tr.Input = v
-				case "calls":
-					fmt.Sscanf(v, "%d", &tr.FunctionCalls)
-				case "nonheaprefs":
-					fmt.Sscanf(v, "%d", &tr.NonHeapRefs)
-				}
-			}
-			continue
-		}
-		fields := strings.Fields(line)
-		switch fields[0] {
-		case "alloc":
-			if len(fields) != 5 {
-				return nil, fmt.Errorf("trace: line %d: malformed alloc", lineNo)
-			}
-			var ev Event
-			ev.Kind = KindAlloc
-			if _, err := fmt.Sscanf(fields[1], "%d", &ev.Obj); err != nil {
-				return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
-			}
-			if _, err := fmt.Sscanf(fields[2], "size=%d", &ev.Size); err != nil {
-				return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
-			}
-			if _, err := fmt.Sscanf(fields[3], "refs=%d", &ev.Refs); err != nil {
-				return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
-			}
-			chainStr, ok := strings.CutPrefix(fields[4], "chain=")
-			if !ok {
-				return nil, fmt.Errorf("trace: line %d: missing chain", lineNo)
-			}
-			if chainStr == "" {
-				ev.Chain = 0
-			} else {
-				ev.Chain = tr.Table.InternNames(strings.Split(chainStr, ">")...)
-			}
-			tr.Events = append(tr.Events, ev)
-		case "free":
-			if len(fields) != 2 {
-				return nil, fmt.Errorf("trace: line %d: malformed free", lineNo)
-			}
-			var obj ObjectID
-			if _, err := fmt.Sscanf(fields[1], "%d", &obj); err != nil {
-				return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
-			}
-			tr.Events = append(tr.Events, Event{Kind: KindFree, Obj: obj})
-		default:
-			return nil, fmt.Errorf("trace: line %d: unknown event %q", lineNo, fields[0])
-		}
-	}
-	if err := sc.Err(); err != nil {
-		return nil, err
-	}
-	return tr, nil
+	return Collect(NewTextReader(r))
 }

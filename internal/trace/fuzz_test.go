@@ -5,9 +5,11 @@ import (
 	"testing"
 )
 
-// FuzzReadBinary checks the binary reader never panics and that anything
-// it accepts re-serializes to a parseable trace. Run the corpus as a unit
-// test, or explore with `go test -fuzz=FuzzReadBinary ./internal/trace`.
+// FuzzReadBinary checks the binary reader — both the LPTRACE1 and the
+// streaming LPTRACE2 decoder — never panics or over-allocates, and that
+// anything it accepts re-serializes to a parseable trace. Run the corpus
+// as a unit test, or explore with `go test -fuzz=FuzzReadBinary
+// ./internal/trace`.
 func FuzzReadBinary(f *testing.F) {
 	// Seed with a real serialized trace and a few corruptions.
 	tr := randomTrace(7, 50)
@@ -25,6 +27,40 @@ func FuzzReadBinary(f *testing.F) {
 	f.Add(bad)
 	f.Add([]byte("LPTRACE1\n"))
 	f.Add([]byte{})
+
+	// The same trace streamed out in the sentinel-terminated LPTRACE2
+	// format, whole and truncated: mid-events, mid-trailer, and with a
+	// corrupted kind byte.
+	var buf2 bytes.Buffer
+	w, err := NewWriter(&buf2, Meta{Program: tr.Program, Input: tr.Input}, tr.Table)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, ev := range tr.Events {
+		if err := w.Write(ev); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if err := w.Close(tr.FunctionCalls, tr.NonHeapRefs); err != nil {
+		f.Fatal(err)
+	}
+	good2 := buf2.Bytes()
+	f.Add(good2)
+	f.Add(good2[:len(good2)/2])
+	f.Add(good2[:len(good2)-1]) // trailer cut off
+	bad2 := append([]byte(nil), good2...)
+	if len(bad2) > 40 {
+		bad2[len(bad2)/2] ^= 0xFF
+	}
+	f.Add(bad2)
+	f.Add([]byte("LPTRACE2\n"))
+
+	// Adversarial lengths: headers that claim enormous event, function,
+	// and chain counts with no bytes behind them. The reader must reject
+	// these without allocating proportionally to the claim.
+	f.Add([]byte("LPTRACE1\n\x00\x00\x00\x00\x00\x00\x80\x80\x80\x80\x80\x80\x80\x40"))
+	f.Add([]byte("LPTRACE1\n\x00\x00\x00\x00\x80\x80\x80\x80\x80\x80\x80\x40"))
+	f.Add([]byte("LPTRACE2\n\x00\x00\x00\x80\x80\x80\x80\x80\x80\x80\x40"))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		got, err := ReadBinary(bytes.NewReader(data))
@@ -53,6 +89,25 @@ func FuzzReadText(f *testing.F) {
 	f.Add("# program=p input=i calls=1 nonheaprefs=2\nalloc 0 size=8 refs=0 chain=a>b\nfree 0\n")
 	f.Add("alloc x")
 	f.Add("")
+
+	// The streaming text rendering: leading program/input line, trailing
+	// totals line, and a truncation that loses the trailer.
+	var sbuf bytes.Buffer
+	sw, err := NewTextWriter(&sbuf, Meta{Program: tr.Program, Input: tr.Input}, tr.Table)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, ev := range tr.Events {
+		if err := sw.Write(ev); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if err := sw.Close(7, 8); err != nil {
+		f.Fatal(err)
+	}
+	streamed := sbuf.String()
+	f.Add(streamed)
+	f.Add(streamed[:len(streamed)/2])
 
 	f.Fuzz(func(t *testing.T, data string) {
 		got, err := ReadText(bytes.NewReader([]byte(data)))

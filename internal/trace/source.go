@@ -1,0 +1,325 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/callchain"
+)
+
+// Meta is the per-trace metadata carried alongside an event stream. It is
+// the streaming counterpart of the Trace header fields.
+type Meta struct {
+	Program string // e.g. "cfrac"
+	Input   string // e.g. "train" / "test"
+
+	// FunctionCalls and NonHeapRefs summarize the whole workload and are
+	// therefore trailer data on a stream: sources that cannot know them
+	// up front (LPTRACE2 readers, the synth generators) report zero until
+	// Next has returned io.EOF, after which Meta returns final values.
+	FunctionCalls int64
+	NonHeapRefs   int64
+}
+
+// Source is a pull-based stream of trace events: the one idiom every
+// layer — codecs, generators, annotation, simulation — consumes.
+//
+// The contract:
+//
+//   - Table returns the call-chain interning table the events refer to.
+//     It is fully populated before the first event is returned, so
+//     consumers may resolve or transform chains as events arrive.
+//   - Next returns events in trace order and io.EOF at the clean end of
+//     the stream. Any other error means a malformed or truncated trace;
+//     after a non-EOF error the stream is dead.
+//   - Meta may be called at any time. Program and Input are valid from
+//     the start; FunctionCalls and NonHeapRefs are only guaranteed final
+//     after Next has returned io.EOF (see Meta).
+//
+// Sources are single-consumer and not safe for concurrent use, matching
+// the callchain.Table they carry.
+type Source interface {
+	Meta() Meta
+	Table() *callchain.Table
+	Next() (Event, error)
+}
+
+// Counted is implemented by sources that know their exact event count in
+// advance (slice adapters, LPTRACE1 readers, synth generators). Consumers
+// that need trace-relative positions — the observability phase marks at
+// 25/50/75% — query it; everything else ignores it.
+type Counted interface {
+	// EventCount returns the total number of events the source will
+	// yield and true, or (0, false) when the count is unknown.
+	EventCount() (int, bool)
+}
+
+// SliceSource adapts a materialized Trace to the Source interface. It is
+// the compatibility bridge: anything holding a Trace can feed a streaming
+// consumer.
+type SliceSource struct {
+	tr *Trace
+	i  int
+}
+
+// NewSliceSource returns a Source yielding tr's events in order.
+func NewSliceSource(tr *Trace) *SliceSource {
+	return &SliceSource{tr: tr}
+}
+
+// Meta returns the trace's header metadata, complete from the start.
+func (s *SliceSource) Meta() Meta {
+	return Meta{
+		Program:       s.tr.Program,
+		Input:         s.tr.Input,
+		FunctionCalls: s.tr.FunctionCalls,
+		NonHeapRefs:   s.tr.NonHeapRefs,
+	}
+}
+
+// Table returns the trace's interning table.
+func (s *SliceSource) Table() *callchain.Table { return s.tr.Table }
+
+// Next yields the next event, io.EOF past the end.
+func (s *SliceSource) Next() (Event, error) {
+	if s.i >= len(s.tr.Events) {
+		return Event{}, io.EOF
+	}
+	ev := s.tr.Events[s.i]
+	s.i++
+	return ev, nil
+}
+
+// EventCount implements Counted: a slice always knows its length.
+func (s *SliceSource) EventCount() (int, bool) { return len(s.tr.Events), true }
+
+// collectCap bounds the capacity hint Collect takes from a Counted
+// source, so an adversarial claimed count cannot force a huge allocation
+// before any event has actually been decoded.
+const collectCap = 1 << 20
+
+// Collect drains a Source into a materialized Trace — the inverse of
+// NewSliceSource, and the other half of the compatibility bridge. The
+// returned Trace shares the source's table. Metadata is read after
+// io.EOF, so trailer-carrying sources yield complete FunctionCalls and
+// NonHeapRefs.
+func Collect(src Source) (*Trace, error) {
+	var hint int
+	if c, ok := src.(Counted); ok {
+		if n, known := c.EventCount(); known {
+			hint = min(n, collectCap)
+		}
+	}
+	events := make([]Event, 0, hint)
+	for {
+		ev, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		events = append(events, ev)
+	}
+	m := src.Meta()
+	return &Trace{
+		Program:       m.Program,
+		Input:         m.Input,
+		Table:         src.Table(),
+		Events:        events,
+		FunctionCalls: m.FunctionCalls,
+		NonHeapRefs:   m.NonHeapRefs,
+	}, nil
+}
+
+// AnnotateStream performs the lifetime computation over a stream, calling
+// emit once per object. Objects are emitted at the moment of death — in
+// death order, not birth order — because that is the first point their
+// lifetime is known; memory held is bounded by the maximum number of
+// simultaneously live objects, never by trace length.
+//
+// Objects never freed are emitted after the stream ends, in birth order,
+// with a lifetime extending to the end of the trace (total bytes
+// allocated minus birth) and Freed == false — by construction long-lived
+// for any threshold below the remaining allocation volume.
+//
+// AnnotateStream returns the same errors as Annotate for malformed
+// streams (double alloc, unknown or double free, bad kind), plus any
+// error returned by emit, which stops the scan.
+func AnnotateStream(src Source, emit func(Object) error) error {
+	live := make(map[ObjectID]Object, 4096)
+	var bytes int64
+	for i := 0; ; i++ {
+		ev, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		switch ev.Kind {
+		case KindAlloc:
+			if _, dup := live[ev.Obj]; dup {
+				return fmt.Errorf("trace: event %d: object %d allocated twice", i, ev.Obj)
+			}
+			live[ev.Obj] = Object{
+				ID:    ev.Obj,
+				Size:  ev.Size,
+				Chain: ev.Chain,
+				Refs:  ev.Refs,
+				Birth: bytes,
+			}
+			bytes += ev.Size
+		case KindFree:
+			o, ok := live[ev.Obj]
+			if !ok {
+				return fmt.Errorf("trace: event %d: free of unknown object %d", i, ev.Obj)
+			}
+			delete(live, ev.Obj)
+			o.Freed = true
+			o.Lifetime = bytes - o.Birth
+			if err := emit(o); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("trace: event %d: bad kind %d", i, ev.Kind)
+		}
+	}
+	if len(live) == 0 {
+		return nil
+	}
+	rest := make([]Object, 0, len(live))
+	for _, o := range live {
+		o.Lifetime = bytes - o.Birth
+		rest = append(rest, o)
+	}
+	sort.Slice(rest, func(a, b int) bool { return rest[a].Birth < rest[b].Birth })
+	for _, o := range rest {
+		if err := emit(o); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AnnotateSource drains a Source and returns the per-object records in
+// birth order — the exact output Annotate produces for the materialized
+// trace. Unlike AnnotateStream it holds every object, so use it only
+// when the full slice is genuinely needed.
+func AnnotateSource(src Source) ([]Object, error) {
+	objs := make([]Object, 0, 4096)
+	index := make(map[ObjectID]int, 4096)
+	var bytes int64
+	for i := 0; ; i++ {
+		ev, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		switch ev.Kind {
+		case KindAlloc:
+			if _, dup := index[ev.Obj]; dup {
+				return nil, fmt.Errorf("trace: event %d: object %d allocated twice", i, ev.Obj)
+			}
+			index[ev.Obj] = len(objs)
+			objs = append(objs, Object{
+				ID:    ev.Obj,
+				Size:  ev.Size,
+				Chain: ev.Chain,
+				Refs:  ev.Refs,
+				Birth: bytes,
+			})
+			bytes += ev.Size
+		case KindFree:
+			j, ok := index[ev.Obj]
+			if !ok {
+				return nil, fmt.Errorf("trace: event %d: free of unknown object %d", i, ev.Obj)
+			}
+			if objs[j].Freed {
+				return nil, fmt.Errorf("trace: event %d: double free of object %d", i, ev.Obj)
+			}
+			objs[j].Freed = true
+			objs[j].Lifetime = bytes - objs[j].Birth
+		default:
+			return nil, fmt.Errorf("trace: event %d: bad kind %d", i, ev.Kind)
+		}
+	}
+	for j := range objs {
+		if !objs[j].Freed {
+			objs[j].Lifetime = bytes - objs[j].Birth
+		}
+	}
+	return objs, nil
+}
+
+// StatsAccum computes trace summary statistics incrementally, one event
+// at a time, so streaming producers (lpgen) report Table 2 metrics
+// without materializing the trace. Memory held is bounded by the maximum
+// number of simultaneously live objects.
+type StatsAccum struct {
+	s         Stats
+	liveSize  map[ObjectID]int64
+	liveBytes int64
+	events    int
+}
+
+// NewStatsAccum returns an empty accumulator.
+func NewStatsAccum() *StatsAccum {
+	return &StatsAccum{liveSize: make(map[ObjectID]int64, 4096)}
+}
+
+// Add folds one event in. It reports the same errors as ComputeStats for
+// malformed event sequences; the event index in errors counts events
+// Added so far.
+func (a *StatsAccum) Add(ev Event) error {
+	i := a.events
+	a.events++
+	switch ev.Kind {
+	case KindAlloc:
+		if _, dup := a.liveSize[ev.Obj]; dup {
+			return fmt.Errorf("trace: event %d: object %d allocated twice", i, ev.Obj)
+		}
+		a.s.TotalObjects++
+		a.s.TotalBytes += ev.Size
+		a.s.HeapRefs += ev.Refs
+		a.liveSize[ev.Obj] = ev.Size
+		a.liveBytes += ev.Size
+		if int64(len(a.liveSize)) > a.s.MaxObjects {
+			a.s.MaxObjects = int64(len(a.liveSize))
+		}
+		if a.liveBytes > a.s.MaxBytes {
+			a.s.MaxBytes = a.liveBytes
+		}
+	case KindFree:
+		sz, ok := a.liveSize[ev.Obj]
+		if !ok {
+			return fmt.Errorf("trace: event %d: free of unknown or dead object %d", i, ev.Obj)
+		}
+		delete(a.liveSize, ev.Obj)
+		a.liveBytes -= sz
+		a.s.FreedObjects++
+	default:
+		return fmt.Errorf("trace: event %d: bad kind %d", i, ev.Kind)
+	}
+	return nil
+}
+
+// Events returns how many events have been folded in.
+func (a *StatsAccum) Events() int { return a.events }
+
+// Finish returns the accumulated statistics, completing HeapRefFrac from
+// the workload's non-heap reference count (trailer metadata, so it is
+// passed here rather than at construction).
+func (a *StatsAccum) Finish(nonHeapRefs int64) Stats {
+	s := a.s
+	total := s.HeapRefs + nonHeapRefs
+	if total > 0 {
+		s.HeapRefFrac = float64(s.HeapRefs) / float64(total)
+	} else {
+		s.HeapRefFrac = 0
+	}
+	return s
+}

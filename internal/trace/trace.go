@@ -80,11 +80,18 @@ type Object struct {
 	Freed    bool
 }
 
-// Annotate performs the two-pass lifetime computation: it returns one
-// Object per allocation, in birth order, with lifetimes in bytes allocated.
-// Objects never freed get a lifetime extending to the end of the trace and
-// Freed == false (they are by construction long-lived for any threshold
-// below the remaining allocation volume).
+// Annotate performs the lifetime computation over a materialized trace:
+// it returns one Object per allocation, in birth order, with lifetimes in
+// bytes allocated. Objects never freed get a lifetime extending to the
+// end of the trace (total bytes allocated minus birth) and Freed == false
+// — by construction long-lived for any threshold below the remaining
+// allocation volume.
+//
+// Annotate is the slice-shaped twin of AnnotateStream; the two are pinned
+// to produce identical Object records. Use AnnotateStream when the trace
+// arrives as a Source and memory must stay bounded by the live set, and
+// Annotate (or AnnotateSource) when the full birth-ordered slice is
+// genuinely needed.
 //
 // Annotate returns an error if a free names an unknown or already-freed
 // object, which would indicate a corrupted trace or a generator bug.
@@ -141,45 +148,17 @@ type Stats struct {
 }
 
 // ComputeStats scans a trace once and returns its summary statistics.
-// It reports the same errors as Annotate for malformed traces.
+// It reports the same errors as Annotate for malformed traces. It is the
+// slice-shaped twin of StatsAccum, which streaming producers fold into
+// event by event.
 func ComputeStats(tr *Trace) (Stats, error) {
-	var s Stats
-	liveSize := make(map[ObjectID]int64, 4096)
-	var liveBytes int64
-	for i, ev := range tr.Events {
-		switch ev.Kind {
-		case KindAlloc:
-			if _, dup := liveSize[ev.Obj]; dup {
-				return Stats{}, fmt.Errorf("trace: event %d: object %d allocated twice", i, ev.Obj)
-			}
-			s.TotalObjects++
-			s.TotalBytes += ev.Size
-			s.HeapRefs += ev.Refs
-			liveSize[ev.Obj] = ev.Size
-			liveBytes += ev.Size
-			if int64(len(liveSize)) > s.MaxObjects {
-				s.MaxObjects = int64(len(liveSize))
-			}
-			if liveBytes > s.MaxBytes {
-				s.MaxBytes = liveBytes
-			}
-		case KindFree:
-			sz, ok := liveSize[ev.Obj]
-			if !ok {
-				return Stats{}, fmt.Errorf("trace: event %d: free of unknown or dead object %d", i, ev.Obj)
-			}
-			delete(liveSize, ev.Obj)
-			liveBytes -= sz
-			s.FreedObjects++
-		default:
-			return Stats{}, fmt.Errorf("trace: event %d: bad kind %d", i, ev.Kind)
+	acc := NewStatsAccum()
+	for _, ev := range tr.Events {
+		if err := acc.Add(ev); err != nil {
+			return Stats{}, err
 		}
 	}
-	total := s.HeapRefs + tr.NonHeapRefs
-	if total > 0 {
-		s.HeapRefFrac = float64(s.HeapRefs) / float64(total)
-	}
-	return s, nil
+	return acc.Finish(tr.NonHeapRefs), nil
 }
 
 // Validate checks trace well-formedness (every free matches a prior alloc,

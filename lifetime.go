@@ -144,6 +144,24 @@ type (
 	// ObsSnapshot is a serializable view of one observed run (what
 	// `lpsim -obs` writes and `lpstats` renders).
 	ObsSnapshot = obs.Snapshot
+
+	// TraceSource streams allocation events one Next call at a time
+	// (io.EOF marks a clean end); the whole pipeline — generation,
+	// training, simulation, the CLI tools — runs over it at constant
+	// memory. A materialized Trace adapts via NewTraceSource.
+	TraceSource = trace.Source
+	// TraceMeta is a source's identity and trailer totals (FunctionCalls
+	// and NonHeapRefs are only final once Next has returned io.EOF for
+	// trailer-carrying sources).
+	TraceMeta = trace.Meta
+	// TraceReader streams a serialized binary trace (either the legacy
+	// count-prefixed or the streaming sentinel-terminated format).
+	TraceReader = trace.Reader
+	// TraceStreamWriter writes events incrementally in the streaming
+	// binary format; Close writes the trailer.
+	TraceStreamWriter = trace.Writer
+	// ModelSource is a workload model's streaming generator.
+	ModelSource = synth.Source
 )
 
 // The two inputs every workload model defines.
@@ -165,6 +183,51 @@ func ModelByName(name string) *Model { return synth.ByName(name) }
 func GenerateTrace(m *Model, input WorkloadInput, seed uint64, scale float64) (*Trace, error) {
 	return m.Generate(synth.Config{Input: input, Seed: seed, Scale: scale})
 }
+
+// GenerateSource returns a streaming generator over the model's events:
+// the same sequence GenerateTrace materializes, produced one event per
+// Next call with memory bounded by the live-object set.
+func GenerateSource(m *Model, input WorkloadInput, seed uint64, scale float64) (*ModelSource, error) {
+	return m.Source(synth.Config{Input: input, Seed: seed, Scale: scale})
+}
+
+// NewTraceSource adapts a materialized trace to the TraceSource
+// interface.
+func NewTraceSource(tr *Trace) TraceSource { return trace.NewSliceSource(tr) }
+
+// CollectTrace drains a source into a materialized Trace (the inverse of
+// NewTraceSource).
+func CollectTrace(src TraceSource) (*Trace, error) { return trace.Collect(src) }
+
+// NewTraceReader opens a streaming reader over a serialized binary
+// trace; both binary formats are auto-detected.
+func NewTraceReader(r io.Reader) (*TraceReader, error) { return trace.NewReader(r) }
+
+// NewTraceStreamWriter opens a streaming binary trace writer. Events go
+// out as they are written; Close appends the trailer totals.
+func NewTraceStreamWriter(w io.Writer, meta TraceMeta, tb *ChainTable) (*TraceStreamWriter, error) {
+	return trace.NewWriter(w, meta, tb)
+}
+
+// SimulateSource replays a streaming source through an allocator —
+// Simulate at constant memory. The SimResult (observability snapshot
+// included, when the source knows its event count) is identical to
+// replaying the materialized trace.
+func SimulateSource(src TraceSource, alloc Allocator, pred *Predictor, observers ...*ObsCollector) (SimResult, error) {
+	return core.RunSimSource(src, alloc, pred, observers...)
+}
+
+// TrainDBSource builds a site database from a streaming source, holding
+// only live-object state. With the default exact-count admission rule
+// the resulting predictor is identical to TrainDB's over the
+// materialized trace.
+func TrainDBSource(src TraceSource, cfg ProfileConfig) (*SiteDB, error) {
+	return profile.TrainSource(src, cfg)
+}
+
+// AnnotateSource computes per-object lifetimes from a streaming source,
+// returning them in birth order like Annotate.
+func AnnotateSource(src TraceSource) ([]Object, error) { return trace.AnnotateSource(src) }
 
 // NewRecorder returns a Recorder for instrumenting a Go program.
 func NewRecorder(program, input string) *Recorder {
