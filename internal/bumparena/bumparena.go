@@ -342,3 +342,55 @@ func (a *Allocator) Finish() *SiteDB {
 
 // Stats returns the predicting-mode counters.
 func (a *Allocator) Stats() Stats { return a.stats }
+
+// CheckInvariants audits the allocator's internal accounting, mirroring
+// the heapsim conformance auditor for the real prototype. It is cheap
+// enough to call after every operation in tests: O(arenas + live
+// buffers). A non-nil error means the bookkeeping that Free and the
+// arena-reset path rely on has been corrupted.
+func (a *Allocator) CheckInvariants() error {
+	if a.training {
+		for p, b := range a.births {
+			if p == nil {
+				return fmt.Errorf("bumparena: nil buffer key in births")
+			}
+			if b.born < 0 || b.born > a.clock {
+				return fmt.Errorf("bumparena: birth clock %d outside [0,%d]", b.born, a.clock)
+			}
+		}
+		return nil
+	}
+	if a.current < 0 || a.current >= len(a.arenas) {
+		return fmt.Errorf("bumparena: current arena %d out of range [0,%d)", a.current, len(a.arenas))
+	}
+	perArena := make([]int, len(a.arenas))
+	for p, idx := range a.bufArena {
+		if p == nil {
+			return fmt.Errorf("bumparena: nil buffer key in bufArena")
+		}
+		if idx < 0 || idx >= len(a.arenas) {
+			return fmt.Errorf("bumparena: buffer mapped to arena %d out of range [0,%d)", idx, len(a.arenas))
+		}
+		perArena[idx]++
+	}
+	var live int
+	for i := range a.arenas {
+		ar := &a.arenas[i]
+		if ar.used < 0 || ar.used > a.cfg.ArenaSize {
+			return fmt.Errorf("bumparena: arena %d used %d outside [0,%d]", i, ar.used, a.cfg.ArenaSize)
+		}
+		// Every live buffer holds exactly one count reference, and a reset
+		// requires count zero, so the tallies must agree exactly.
+		if ar.count != perArena[i] {
+			return fmt.Errorf("bumparena: arena %d count %d but %d live buffers", i, ar.count, perArena[i])
+		}
+		if ar.count > 0 && ar.used == 0 {
+			return fmt.Errorf("bumparena: arena %d has %d live objects but no used bytes", i, ar.count)
+		}
+		live += ar.count
+	}
+	if live != len(a.bufArena) {
+		return fmt.Errorf("bumparena: %d counted live objects but %d mapped buffers", live, len(a.bufArena))
+	}
+	return nil
+}

@@ -205,3 +205,90 @@ func BenchmarkBumpAlloc(b *testing.B) {
 		b.Fatalf("bump path not exercised: %+v", pr.Stats())
 	}
 }
+
+// TestCheckInvariantsDuringWorkload audits the prototype's accounting
+// after every operation of a mixed training-then-predicting workload —
+// the same per-event auditing discipline internal/check applies to the
+// simulators.
+func TestCheckInvariantsDuringWorkload(t *testing.T) {
+	tr := NewTraining(testConfig())
+	for i := 0; i < 2000; i++ {
+		b := hotAlloc(tr, 64)
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("training alloc %d: %v", i, err)
+		}
+		if err := tr.Free(b); err != nil {
+			t.Fatal(err)
+		}
+		if i%64 == 0 {
+			coldAlloc(tr, 128) // leaked on purpose
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("training free %d: %v", i, err)
+		}
+	}
+	db := tr.Finish()
+
+	pr := NewPredicting(testConfig(), db)
+	var held [][]byte
+	for i := 0; i < 2000; i++ {
+		held = append(held, hotAlloc(pr, 64))
+		if err := pr.CheckInvariants(); err != nil {
+			t.Fatalf("predicting alloc %d: %v", i, err)
+		}
+		if len(held) > 8 {
+			if err := pr.Free(held[0]); err != nil {
+				t.Fatal(err)
+			}
+			held = held[1:]
+			if err := pr.CheckInvariants(); err != nil {
+				t.Fatalf("predicting free %d: %v", i, err)
+			}
+		}
+	}
+	if pr.Stats().BumpAllocs == 0 {
+		t.Fatal("workload never hit the bump path; the audit exercised nothing")
+	}
+}
+
+// TestCheckInvariantsCatchesCorruption reaches into the allocator and
+// breaks each audited identity, confirming the self-check reports it.
+func TestCheckInvariantsCatchesCorruption(t *testing.T) {
+	mk := func() (*Allocator, []byte) {
+		tr := NewTraining(testConfig())
+		churn(t, tr, 20000)
+		pr := NewPredicting(testConfig(), tr.Finish())
+		buf := hotAlloc(pr, 64)
+		if pr.Stats().BumpAllocs != 1 {
+			t.Fatal("setup buffer missed the bump path")
+		}
+		if err := pr.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+		return pr, buf
+	}
+
+	pr, _ := mk()
+	pr.arenas[pr.current].count++ // count drifts above live buffers
+	if err := pr.CheckInvariants(); err == nil {
+		t.Fatal("count drift not caught")
+	}
+
+	pr, buf := mk()
+	delete(pr.bufArena, &buf[0]) // live buffer lost from the map
+	if err := pr.CheckInvariants(); err == nil {
+		t.Fatal("lost buffer mapping not caught")
+	}
+
+	pr, _ = mk()
+	pr.arenas[pr.current].used = pr.cfg.ArenaSize + 1 // bump past the arena end
+	if err := pr.CheckInvariants(); err == nil {
+		t.Fatal("used overflow not caught")
+	}
+
+	pr, _ = mk()
+	pr.current = len(pr.arenas) // rover off the end
+	if err := pr.CheckInvariants(); err == nil {
+		t.Fatal("bad current arena not caught")
+	}
+}

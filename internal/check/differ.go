@@ -1,0 +1,130 @@
+package check
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/heapsim"
+	"repro/internal/trace"
+)
+
+// Factory names an allocator construction; the differ and the property
+// runner build fresh instances per replay so no state leaks between
+// cases.
+type Factory struct {
+	Name string
+	New  func() heapsim.Allocator
+}
+
+// defaultHotSizes seeds Custom's per-size fast paths in property runs;
+// the models audit derives real hot sizes from the training profile
+// instead.
+var defaultHotSizes = []int64{16, 24, 32, 48, 64, 96, 128, 256}
+
+// Factories returns construction recipes for the named allocators, or
+// all six in canonical order when names is empty. Unknown names error.
+func Factories(names ...string) ([]Factory, error) {
+	all := []Factory{
+		{"firstfit", func() heapsim.Allocator { return heapsim.NewFirstFit() }},
+		{"bestfit", func() heapsim.Allocator { return heapsim.NewBestFit() }},
+		{"bsd", func() heapsim.Allocator { return heapsim.NewBSD() }},
+		{"arena", func() heapsim.Allocator { return heapsim.NewArena() }},
+		{"sitearena", func() heapsim.Allocator { return heapsim.NewSiteArena() }},
+		{"custom", func() heapsim.Allocator { return heapsim.NewCustom(defaultHotSizes) }},
+	}
+	if len(names) == 0 {
+		return all, nil
+	}
+	byName := make(map[string]Factory, len(all))
+	for _, f := range all {
+		byName[f.Name] = f
+	}
+	out := make([]Factory, 0, len(names))
+	for _, n := range names {
+		f, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("check: unknown allocator %q", n)
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+// participant is one allocator in a lockstep differential replay.
+type participant struct {
+	name  string
+	alloc heapsim.Allocator
+}
+
+// Diff replays one trace source through every factory's allocator in
+// lockstep and asserts policy-independent agreement:
+//
+//   - every allocator accepts every legal event (a rejection any sibling
+//     accepted is a divergence, not just an error);
+//   - each allocator's state passes the full invariant audit against the
+//     shared ledger on the stride — which pins the policy-independent
+//     observables to the same values for all of them: identical live
+//     sets, identical Allocs/Frees, identical live payload bytes;
+//   - Addr liveness agrees across allocators for ledger-live ids and for
+//     sampled dead ids.
+//
+// Policy-dependent observables (placement addresses, heap sizes, probe
+// counts) are free to differ; that is the point of comparing policies.
+func Diff(src trace.Source, fs []Factory, opt Options) error {
+	if len(fs) == 0 {
+		return fmt.Errorf("check: no allocators to diff")
+	}
+	parts := make([]participant, len(fs))
+	for i, f := range fs {
+		parts[i] = participant{name: f.Name, alloc: f.New()}
+	}
+	led := NewLedger(opt.deadSample())
+	audit := func(i int, when string) error {
+		for _, p := range parts {
+			if err := AuditState(p.name, p.alloc, led); err != nil {
+				return fmt.Errorf("%s: %w", when, err)
+			}
+		}
+		return nil
+	}
+	i := 0
+	for ; ; i++ {
+		ev, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if err := led.Apply(ev); err != nil {
+			return fmt.Errorf("event %d: %w", i, err)
+		}
+		for _, p := range parts {
+			if err := applyEvent(p.alloc, ev, opt.Predict); err != nil {
+				return fmt.Errorf("event %d: %s diverged: rejected legal event: %w", i, p.name, err)
+			}
+		}
+		if opt.Stride > 0 && (i+1)%opt.Stride == 0 {
+			if err := audit(i, fmt.Sprintf("after event %d", i)); err != nil {
+				return err
+			}
+		}
+	}
+	if err := audit(i, fmt.Sprintf("at end of trace (%d events)", i)); err != nil {
+		return err
+	}
+	// The audits prove each allocator agrees with the ledger; close the
+	// loop with a direct cross-allocator probe of the liveness surface.
+	ref := parts[0]
+	for id := range led.live {
+		for _, p := range parts[1:] {
+			_, a := ref.alloc.Addr(id)
+			_, b := p.alloc.Addr(id)
+			if a != b {
+				return fmt.Errorf("liveness disagreement on object %d: %s says %v, %s says %v",
+					id, ref.name, a, p.name, b)
+			}
+		}
+	}
+	return nil
+}

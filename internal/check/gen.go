@@ -1,0 +1,108 @@
+package check
+
+import (
+	"fmt"
+
+	"repro/internal/callchain"
+	"repro/internal/trace"
+	"repro/internal/xrand"
+)
+
+// GenConfig shapes the random legal traces the property runner feeds the
+// harness.
+type GenConfig struct {
+	// Events is the target event count per case (default 400).
+	Events int
+	// Sites is how many distinct call chains allocations draw from
+	// (default 8).
+	Sites int
+	// MaxSize bounds request sizes (default 8192, above the 4KB arena
+	// size so the big-object path is exercised).
+	MaxSize int64
+	// FreeFrac is the probability an event frees a live object instead
+	// of allocating, when any is live (default 0.45, so traces end with
+	// survivors and the never-freed paths run too).
+	FreeFrac float64
+}
+
+func (c GenConfig) withDefaults() GenConfig {
+	if c.Events <= 0 {
+		c.Events = 400
+	}
+	if c.Sites <= 0 {
+		c.Sites = 8
+	}
+	if c.MaxSize <= 0 {
+		c.MaxSize = 8192
+	}
+	if c.FreeFrac <= 0 {
+		c.FreeFrac = 0.45
+	}
+	return c
+}
+
+// GenTrace generates a random legal allocation trace from the seed:
+// every free names a live object, ids are dense in birth order, sizes
+// are skewed small with an occasional arena-overflowing large request.
+// The same seed and config always produce the same trace.
+func GenTrace(seed uint64, cfg GenConfig) *trace.Trace {
+	cfg = cfg.withDefaults()
+	r := xrand.New(seed ^ 0x5bd1e995c0ffee11)
+	tb := callchain.NewTable()
+	chains := make([]callchain.ChainID, cfg.Sites)
+	for i := range chains {
+		switch i % 3 {
+		case 0:
+			chains[i] = tb.InternNames("main", fmt.Sprintf("gen_%d", i))
+		case 1:
+			chains[i] = tb.InternNames("main", "dispatch", fmt.Sprintf("gen_%d", i))
+		default:
+			chains[i] = tb.InternNames("main", "dispatch", "worker", fmt.Sprintf("gen_%d", i))
+		}
+	}
+
+	tr := &trace.Trace{
+		Program: fmt.Sprintf("gen-%d", seed),
+		Input:   "prop",
+		Table:   tb,
+		Events:  make([]trace.Event, 0, cfg.Events),
+	}
+	var live []trace.ObjectID
+	var next trace.ObjectID
+	for len(tr.Events) < cfg.Events {
+		if len(live) > 0 && r.Bool(cfg.FreeFrac) {
+			i := r.Intn(len(live))
+			id := live[i]
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+			tr.Events = append(tr.Events, trace.Event{Kind: trace.KindFree, Obj: id})
+			continue
+		}
+		size := r.Range(1, 192)
+		switch {
+		case r.Bool(0.05):
+			size = r.Range(cfg.MaxSize/2, cfg.MaxSize) // arena-overflow sized
+		case r.Bool(0.25):
+			size = r.Range(193, 1024)
+		}
+		tr.Events = append(tr.Events, trace.Event{
+			Kind:  trace.KindAlloc,
+			Obj:   next,
+			Size:  size,
+			Chain: chains[r.Intn(len(chains))],
+			Refs:  r.Range(0, 8),
+		})
+		live = append(live, next)
+		next++
+	}
+	tr.FunctionCalls = int64(len(tr.Events)) * 3
+	tr.NonHeapRefs = int64(len(tr.Events))
+	return tr
+}
+
+// GenPredict returns a deterministic pseudo-predictor for property runs:
+// it predicts small requests short-lived, which is wrong often enough on
+// random traces to exercise arena pollution, demotion, and fallback.
+func GenPredict(threshold int64) Predict {
+	return func(_ callchain.ChainID, size int64) bool { return size <= threshold }
+}

@@ -1,0 +1,54 @@
+package check
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// CheckTrace runs the full conformance suite over one materialized
+// trace: the differential replay of every factory's allocator with
+// invariant audits on the stride, plus the metamorphic properties
+// (relabel invariance; arena-count monotonicity of fallbacks when a
+// predictor is in play). A nil error means every layer agreed.
+func CheckTrace(tr *trace.Trace, fs []Factory, opt Options) error {
+	if err := Diff(trace.NewSliceSource(tr), fs, opt); err != nil {
+		return err
+	}
+	if err := CheckRelabelInvariance(tr); err != nil {
+		return fmt.Errorf("metamorphic: %w", err)
+	}
+	if opt.Predict != nil {
+		if err := CheckArenaMonotone(tr, opt.Predict, []int{4, 8, 16, 32}); err != nil {
+			return fmt.Errorf("metamorphic: %w", err)
+		}
+	}
+	return nil
+}
+
+// Run is the seeded property harness: it generates cases random legal
+// traces from seedBase, runs CheckTrace on each, and on the first
+// violation shrinks the trace to a minimal repro and returns it as a
+// *Violation (which implements error). progress, when non-nil, is
+// called after every case for live reporting.
+func Run(seedBase uint64, cases int, gcfg GenConfig, fs []Factory, opt Options, progress func(done int)) error {
+	for i := 0; i < cases; i++ {
+		seed := seedBase + uint64(i)
+		tr := GenTrace(seed, gcfg)
+		if err := CheckTrace(tr, fs, opt); err != nil {
+			fails := func(cand *trace.Trace) error { return CheckTrace(cand, fs, opt) }
+			shrunk := Shrink(tr, fails)
+			return &Violation{
+				Err:    fails(shrunk),
+				Seed:   seed,
+				Case:   i,
+				Trace:  shrunk,
+				Events: len(tr.Events),
+			}
+		}
+		if progress != nil {
+			progress(i + 1)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,146 @@
+package cliutil
+
+import (
+	"bytes"
+	"flag"
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+// withFreshFlags runs fn with a fresh global FlagSet, a fake os.Args, and
+// the exit hook replaced by one that records the code and unwinds via
+// panic (so code after an "exit" never runs, as in the real tool).
+// It returns the recorded exit code, or -1 when exit was never called.
+func withFreshFlags(t *testing.T, args []string, fn func()) (code int) {
+	t.Helper()
+	oldCmd, oldArgs, oldExit := flag.CommandLine, os.Args, exit
+	defer func() {
+		flag.CommandLine, os.Args, exit = oldCmd, oldArgs, oldExit
+		if r := recover(); r != nil && r != exitSentinel {
+			panic(r)
+		}
+	}()
+	flag.CommandLine = flag.NewFlagSet(args[0], flag.ContinueOnError)
+	os.Args = args
+	code = -1
+	exit = func(c int) {
+		code = c
+		panic(exitSentinel)
+	}
+	fn()
+	return code
+}
+
+var exitSentinel = "cliutil test exit"
+
+// captureStdout runs fn with os.Stdout redirected to a pipe and returns
+// what it printed.
+func captureStdout(t *testing.T, fn func()) string {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdout
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	fn()
+	w.Close()
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out)
+}
+
+func TestParsePlainRun(t *testing.T) {
+	code := withFreshFlags(t, []string{"lptest"}, func() {
+		Parse("lptest", "test synopsis")
+	})
+	if code != -1 {
+		t.Fatalf("plain Parse exited with %d", code)
+	}
+}
+
+func TestParseVersionExitsZero(t *testing.T) {
+	var code int
+	out := captureStdout(t, func() {
+		code = withFreshFlags(t, []string{"lptest", "-version"}, func() {
+			Parse("lptest", "test synopsis")
+		})
+	})
+	if code != 0 {
+		t.Fatalf("-version exit code = %d, want 0", code)
+	}
+	if !strings.Contains(out, "lptest") || !strings.Contains(out, Version) {
+		t.Fatalf("-version output %q missing tool name or suite version", out)
+	}
+}
+
+func TestParseToolFlagsAndOrder(t *testing.T) {
+	// Tool flags registered before Parse must be honored regardless of
+	// the order they appear on the command line.
+	for _, args := range [][]string{
+		{"lptest", "-n", "7", "-label", "x"},
+		{"lptest", "-label", "x", "-n", "7"},
+	} {
+		var n *int
+		var label *string
+		code := withFreshFlags(t, args, func() {
+			n = flag.Int("n", 1, "count")
+			label = flag.String("label", "", "name")
+			Parse("lptest", "test synopsis")
+		})
+		if code != -1 {
+			t.Fatalf("args %v: unexpected exit %d", args, code)
+		}
+		if *n != 7 || *label != "x" {
+			t.Fatalf("args %v: parsed n=%d label=%q", args, *n, *label)
+		}
+	}
+}
+
+func TestUsageBanner(t *testing.T) {
+	var buf bytes.Buffer
+	code := withFreshFlags(t, []string{"lptest"}, func() {
+		flag.Int("n", 1, "an example count flag")
+		Parse("lptest", "one-line synopsis", "lptest -n 7 example")
+		flag.CommandLine.SetOutput(&buf)
+		flag.Usage()
+	})
+	if code != -1 {
+		t.Fatalf("unexpected exit %d", code)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"usage: lptest [flags]",
+		"one-line synopsis",
+		"lptest -n 7 example",
+		"an example count flag",
+		"-version",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("usage output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFatalExitsOne(t *testing.T) {
+	code := withFreshFlags(t, []string{"lptest"}, func() {
+		Fatal("lptest", io.ErrUnexpectedEOF)
+	})
+	if code != 1 {
+		t.Fatalf("Fatal exit code = %d, want 1", code)
+	}
+}
+
+func TestUsageErrorExitsTwo(t *testing.T) {
+	code := withFreshFlags(t, []string{"lptest"}, func() {
+		UsageError("lptest", "bad flag combination: %s with %s", "-a", "-b")
+	})
+	if code != 2 {
+		t.Fatalf("UsageError exit code = %d, want 2", code)
+	}
+}

@@ -53,8 +53,9 @@ type arenaObs struct {
 
 // arenaLoc records where in the arena area an object was bump-allocated.
 type arenaLoc struct {
-	idx int
-	off int64
+	idx  int
+	off  int64
+	size int64 // requested bytes, for layout audits
 }
 
 // ArenaBase is the synthetic base address of the arena area, disjoint from
@@ -166,7 +167,7 @@ func (a *Arena) bump(id trace.ObjectID, size int64) error {
 		return errDoubleAlloc("arena", id)
 	}
 	st := &a.arenas[a.current]
-	a.where[id] = arenaLoc{idx: a.current, off: st.used}
+	a.where[id] = arenaLoc{idx: a.current, off: st.used, size: size}
 	st.used += size
 	st.count++
 	a.ops.Allocs++

@@ -42,6 +42,7 @@ type bsdObs struct {
 type bsdObj struct {
 	addr   int64
 	bucket int
+	size   int64 // requested bytes, for layout audits
 }
 
 // NewBSD returns a BSD malloc simulator with the default geometry.
@@ -128,7 +129,7 @@ func (b *BSD) Alloc(id trace.ObjectID, size int64, _ bool) error {
 	}
 	addr := list[len(list)-1]
 	b.freeLists[bucket] = list[:len(list)-1]
-	b.live[id] = bsdObj{addr: addr, bucket: bucket}
+	b.live[id] = bsdObj{addr: addr, bucket: bucket, size: size}
 	b.liveBytes += size
 	return nil
 }
@@ -141,6 +142,7 @@ func (b *BSD) Free(id trace.ObjectID) error {
 		return errUnknownFree("bsd", id)
 	}
 	delete(b.live, id)
+	b.liveBytes -= o.size
 	b.ops.Frees++
 	b.freeLists[o.bucket] = append(b.freeLists[o.bucket], o.addr)
 	return nil

@@ -50,8 +50,9 @@ type sizeClass struct {
 }
 
 type customObj struct {
-	addr int64
-	size int64 // rounded size class; 0 = general heap
+	addr    int64
+	size    int64 // rounded size class (the chunk extent)
+	payload int64 // requested bytes, for layout audits
 }
 
 // customBase places the slab region away from the general heap's address
@@ -139,7 +140,7 @@ func (c *Custom) Alloc(id trace.ObjectID, size int64, _ bool) error {
 	}
 	addr := class.free[len(class.free)-1]
 	class.free = class.free[:len(class.free)-1]
-	c.live[id] = customObj{addr: addr, size: rs}
+	c.live[id] = customObj{addr: addr, size: rs, payload: size}
 	c.ops.ArenaBytes += size // reuse the counter: bytes on the fast path
 	return nil
 }

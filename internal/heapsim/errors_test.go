@@ -1,0 +1,104 @@
+package heapsim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestAllocatorErrorPaths pins the shared error surface of every
+// simulator: double allocation and unknown free must be rejected with the
+// exact heapsim error messages (comparison tooling greps them), and Addr
+// must report liveness truthfully for dead and never-alive ids.
+func TestAllocatorErrorPaths(t *testing.T) {
+	cases := []struct {
+		name string
+		mk   func() Allocator
+	}{
+		{"firstfit", func() Allocator { return NewFirstFit() }},
+		{"bestfit", func() Allocator { return NewBestFit() }},
+		{"bsd", func() Allocator { return NewBSD() }},
+		{"arena", func() Allocator { return NewArena() }},
+		{"sitearena", func() Allocator { return NewSiteArena() }},
+		{"custom", func() Allocator { return NewCustom([]int64{16, 64}) }},
+	}
+	for _, tc := range cases {
+		for _, short := range []bool{false, true} {
+			t.Run(fmt.Sprintf("%s/short=%v", tc.name, short), func(t *testing.T) {
+				a := tc.mk()
+				if err := a.Alloc(1, 64, short); err != nil {
+					t.Fatal(err)
+				}
+
+				err := a.Alloc(1, 32, short)
+				want := fmt.Sprintf("heapsim: %s: object 1 allocated while already live", tc.name)
+				if err == nil || err.Error() != want {
+					t.Fatalf("double alloc: got %v, want %q", err, want)
+				}
+
+				err = a.Free(99)
+				want = fmt.Sprintf("heapsim: %s: free of unknown object 99", tc.name)
+				if err == nil || err.Error() != want {
+					t.Fatalf("unknown free: got %v, want %q", err, want)
+				}
+
+				if err := a.Alloc(2, 16, short); err != nil {
+					t.Fatal(err)
+				}
+				if err := a.Free(2); err != nil {
+					t.Fatal(err)
+				}
+				err = a.Free(2)
+				want = fmt.Sprintf("heapsim: %s: free of unknown object 2", tc.name)
+				if err == nil || err.Error() != want {
+					t.Fatalf("double free: got %v, want %q", err, want)
+				}
+
+				if _, ok := a.Addr(1); !ok {
+					t.Fatal("Addr reports live object 1 as dead")
+				}
+				if _, ok := a.Addr(2); ok {
+					t.Fatal("Addr reports freed object 2 as live")
+				}
+				if _, ok := a.Addr(77); ok {
+					t.Fatal("Addr reports never-allocated object 77 as live")
+				}
+
+				// Error paths must not corrupt the op counts: two
+				// successful allocs, one successful free.
+				c := a.Counts()
+				if c.Allocs != 2 || c.Frees != 1 {
+					t.Fatalf("counts after rejected ops: %+v, want Allocs=2 Frees=1", c)
+				}
+			})
+		}
+	}
+}
+
+// TestAllocatorRejectsNonPositiveSize: a non-positive request is a trace
+// corruption, never a silent no-op.
+func TestAllocatorRejectsNonPositiveSize(t *testing.T) {
+	cases := []struct {
+		name string
+		mk   func() Allocator
+	}{
+		{"firstfit", func() Allocator { return NewFirstFit() }},
+		{"bestfit", func() Allocator { return NewBestFit() }},
+		{"bsd", func() Allocator { return NewBSD() }},
+		{"arena", func() Allocator { return NewArena() }},
+		{"sitearena", func() Allocator { return NewSiteArena() }},
+		{"custom", func() Allocator { return NewCustom(nil) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a := tc.mk()
+			for _, sz := range []int64{0, -8} {
+				if err := a.Alloc(1, sz, false); err == nil {
+					t.Fatalf("size %d accepted", sz)
+				}
+			}
+			if got := a.Counts().Allocs; got != 0 {
+				t.Fatalf("rejected allocs counted: %d", got)
+			}
+		})
+	}
+}

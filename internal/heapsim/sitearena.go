@@ -87,6 +87,7 @@ type siteLoc struct {
 	full   uint64 // owning site
 	idx    int
 	off    int64
+	size   int64 // requested bytes, for layout audits
 }
 
 // siteArenaBase places the pools' synthetic addresses away from both the
@@ -152,6 +153,12 @@ func (s *SiteArena) AllocAt(id trace.ObjectID, size int64, site uint64) error {
 	s.init()
 	if size <= 0 {
 		return fmt.Errorf("heapsim: non-positive allocation size %d", size)
+	}
+	if _, dup := s.where[id]; dup {
+		return errDoubleAlloc("sitearena", id)
+	}
+	if _, live := s.General.Addr(id); live {
+		return errDoubleAlloc("sitearena", id)
 	}
 	s.ops.PredChecks++
 	if size > s.ArenaSize {
@@ -221,7 +228,7 @@ func (s *SiteArena) AllocAt(id trace.ObjectID, size int64, site uint64) error {
 		}
 		cur = &pool.arenas[pool.cur]
 	}
-	s.where[id] = siteLoc{bucket: bucket, full: fullSite, idx: pool.cur, off: cur.used}
+	s.where[id] = siteLoc{bucket: bucket, full: fullSite, idx: pool.cur, off: cur.used, size: size}
 	if cur.owners == nil {
 		cur.owners = make(map[uint64]int64, 4)
 	}

@@ -1,0 +1,261 @@
+package heapsim
+
+import "repro/internal/trace"
+
+// Span is one contiguous address range reported by a Walker: either a
+// live object's block (headers and padding included in Size, the
+// requested bytes in Payload) or a free block awaiting reuse. Spans are
+// the auditable unit of an allocator's layout: internal/check sorts them,
+// proves they are pairwise disjoint, and reconciles the live ones against
+// the trace's own ledger.
+type Span struct {
+	// Region names the address window this span lives in ("heap",
+	// "arena", "sitearena", "slab") and must match one of the allocator's
+	// Regions.
+	Region string
+	// Addr and Size delimit the block, including any modeled header or
+	// alignment padding.
+	Addr, Size int64
+	// Free marks blocks on a free list (or carved but unallocated).
+	Free bool
+	// Obj and Payload identify the live object occupying a non-free
+	// span and its requested byte count.
+	Obj     trace.ObjectID
+	Payload int64
+}
+
+// Region describes one contiguous address window of an allocator's
+// simulated address space. Windows of one allocator never overlap, and
+// the sum of their extents equals HeapSize() — that identity is what ties
+// the walked layout back to the Table 8 heap-size accounting.
+type Region struct {
+	Name string
+	// Base and End delimit the window; End is exclusive. Base == End is
+	// an empty window.
+	Base, End int64
+	// Tiled promises that the walked spans of this region exactly tile
+	// [Base, End): sorted by address they are gapless as well as
+	// disjoint. First-fit's block list and BSD's carved pages tile;
+	// bump-pointer arena areas (where dead objects leave unaccounted
+	// holes until a reset) do not.
+	Tiled bool
+	// Coalesced promises that free spans are never address-adjacent —
+	// the immediate-coalescing invariant of the boundary-tag heaps.
+	// Segregated-list allocators (BSD, Custom) never coalesce and leave
+	// it false.
+	Coalesced bool
+}
+
+// Walker is implemented by every simulator that can expose its block and
+// arena layout for conformance auditing. Walk must report every block the
+// allocator tracks — live and free — and may emit spans in any order; the
+// auditor sorts. Implementations are read-only: walking never perturbs
+// allocator state, so an audit can run after any event without changing
+// the replay's outcome.
+type Walker interface {
+	// Regions enumerates the allocator's address windows.
+	Regions() []Region
+	// Walk calls emit for every span; a non-nil error from emit aborts
+	// the walk and is returned.
+	Walk(emit func(Span) error) error
+}
+
+// liveByBlock inverts a live map for walking: block pointer -> object id.
+// Built per walk so the hot allocation paths carry no extra bookkeeping.
+func liveByBlock(live map[trace.ObjectID]*ffBlock) map[*ffBlock]trace.ObjectID {
+	inv := make(map[*ffBlock]trace.ObjectID, len(live))
+	for id, b := range live {
+		inv[b] = id
+	}
+	return inv
+}
+
+// walkFF walks a FirstFit heap's address-ordered block list under the
+// given region name (FirstFit and BestFit share the machinery).
+func walkFF(ff *FirstFit, emit func(Span) error) error {
+	ff.init()
+	inv := liveByBlock(ff.live)
+	for b := ff.head; b != nil; b = b.aNext {
+		s := Span{Region: "heap", Addr: b.addr, Size: b.size, Free: b.free}
+		if !b.free {
+			id, ok := inv[b]
+			if !ok {
+				// A non-free block no live object owns would be lost
+				// memory; surface it as a live span with no payload so
+				// the auditor reports the discrepancy rather than
+				// silently skipping it.
+				s.Payload = -1
+			} else {
+				s.Obj = id
+				s.Payload = b.payload
+			}
+		}
+		if err := emit(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Regions implements Walker: first-fit owns one sbrk window from 0.
+func (ff *FirstFit) Regions() []Region {
+	ff.init()
+	return []Region{{Name: "heap", Base: 0, End: ff.heapEnd, Tiled: true, Coalesced: true}}
+}
+
+// Walk implements Walker over the address-ordered block list.
+func (ff *FirstFit) Walk(emit func(Span) error) error { return walkFF(ff, emit) }
+
+// Regions implements Walker.
+func (b *BestFit) Regions() []Region {
+	b.init()
+	return b.ff.Regions()
+}
+
+// Walk implements Walker.
+func (b *BestFit) Walk(emit func(Span) error) error {
+	b.init()
+	return walkFF(&b.ff, emit)
+}
+
+// Regions implements Walker: BSD owns one carve window from 0.
+func (b *BSD) Regions() []Region {
+	b.init()
+	return []Region{{Name: "heap", Base: 0, End: b.heapEnd, Tiled: true}}
+}
+
+// Walk implements Walker: every carved chunk is either live or on its
+// bucket's free list, so the two together tile the heap.
+func (b *BSD) Walk(emit func(Span) error) error {
+	b.init()
+	for id, o := range b.live {
+		err := emit(Span{
+			Region:  "heap",
+			Addr:    o.addr,
+			Size:    int64(1) << o.bucket,
+			Obj:     id,
+			Payload: o.size,
+		})
+		if err != nil {
+			return err
+		}
+	}
+	for bucket, list := range b.freeLists {
+		for _, addr := range list {
+			err := emit(Span{
+				Region: "heap",
+				Addr:   addr,
+				Size:   int64(1) << bucket,
+				Free:   true,
+			})
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Regions implements Walker: the general heap's window plus the fixed
+// arena area. The arena window is not tiled — freed objects leave holes
+// under the bump pointers until a reset reclaims the whole arena.
+func (a *Arena) Regions() []Region {
+	a.init()
+	end := ArenaBase + int64(a.NumArenas)*a.ArenaSize
+	return append(a.General.Regions(),
+		Region{Name: "arena", Base: ArenaBase, End: end})
+}
+
+// Walk implements Walker: the general heap's blocks plus one span per
+// live arena object at its synthetic bump address.
+func (a *Arena) Walk(emit func(Span) error) error {
+	a.init()
+	if err := a.General.Walk(emit); err != nil {
+		return err
+	}
+	for id, loc := range a.where {
+		err := emit(Span{
+			Region:  "arena",
+			Addr:    ArenaBase + int64(loc.idx)*a.ArenaSize + loc.off,
+			Size:    loc.size,
+			Obj:     id,
+			Payload: loc.size,
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Regions implements Walker: the general heap plus the reserved site
+// pools (pools are allocated densely, so the window ends at the next
+// unassigned pool index).
+func (s *SiteArena) Regions() []Region {
+	s.init()
+	end := siteArenaBase + int64(s.nextPool)*int64(s.ArenasPerSite)*s.ArenaSize
+	return append(s.General.Regions(),
+		Region{Name: "sitearena", Base: siteArenaBase, End: end})
+}
+
+// Walk implements Walker.
+func (s *SiteArena) Walk(emit func(Span) error) error {
+	s.init()
+	if err := s.General.Walk(emit); err != nil {
+		return err
+	}
+	poolSize := int64(s.ArenasPerSite) * s.ArenaSize
+	for id, loc := range s.where {
+		pool := s.pools[loc.bucket]
+		err := emit(Span{
+			Region:  "sitearena",
+			Addr:    siteArenaBase + int64(pool.index)*poolSize + int64(loc.idx)*s.ArenaSize + loc.off,
+			Size:    loc.size,
+			Obj:     id,
+			Payload: loc.size,
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Regions implements Walker: the general heap plus the hot-size slab
+// window. The slab window is not tiled: a carve keeps only whole chunks,
+// so a slab whose chunk size does not divide it ends in a small
+// permanently-unused tail.
+func (c *Custom) Regions() []Region {
+	c.init()
+	return append(c.General.Regions(),
+		Region{Name: "slab", Base: customBase, End: customBase + c.heapEnd})
+}
+
+// Walk implements Walker: live hot-size chunks, free chunks on the
+// per-class lists, and the general heap's blocks.
+func (c *Custom) Walk(emit func(Span) error) error {
+	c.init()
+	if err := c.General.Walk(emit); err != nil {
+		return err
+	}
+	for id, o := range c.live {
+		err := emit(Span{
+			Region:  "slab",
+			Addr:    o.addr,
+			Size:    o.size,
+			Obj:     id,
+			Payload: o.payload,
+		})
+		if err != nil {
+			return err
+		}
+	}
+	for size, class := range c.hot {
+		for _, addr := range class.free {
+			if err := emit(Span{Region: "slab", Addr: addr, Size: size, Free: true}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
