@@ -22,24 +22,27 @@ import (
 // scale-invariant (see EXPERIMENTS.md for full-scale runs).
 const benchScale = 0.02
 
+// benchEngine shares one core.Engine across all benchmarks, so artifact
+// builds are cached (and table-warmed) exactly as cmd/lptables caches
+// them, and the engine-level benchmarks reuse the same instance.
 var (
-	artMu    sync.Mutex
-	artCache = map[string]*core.Artifacts{}
+	engOnce sync.Once
+	eng     *core.Engine
 )
+
+func benchEngine() *core.Engine {
+	engOnce.Do(func() {
+		eng = core.NewEngine(core.DefaultConfig(benchScale))
+	})
+	return eng
+}
 
 func artifacts(b *testing.B, name string) *core.Artifacts {
 	b.Helper()
-	artMu.Lock()
-	defer artMu.Unlock()
-	if a, ok := artCache[name]; ok {
-		return a
-	}
-	cfg := core.DefaultConfig(benchScale)
-	a, err := cfg.Build(synth.ByName(name))
+	a, err := benchEngine().Artifacts(name)
 	if err != nil {
 		b.Fatal(err)
 	}
-	artCache[name] = a
 	return a
 }
 
@@ -418,6 +421,34 @@ func BenchmarkExtensionGCPretenuring(b *testing.B) {
 			}
 			b.ReportMetric(float64(st.CopiedBytes())/1024, "copiedKB")
 			b.ReportMetric(float64(st.MinorGCs), "minorGCs")
+		})
+	}
+}
+
+// BenchmarkEngineRun measures the DAG scheduler end to end over the
+// cheap analysis tables (artifacts come pre-built from the shared
+// engine, so the measured work is cell execution plus scheduling). The
+// overlap metric is CPUTime/Wall — the achieved parallelism; on a
+// multi-core machine it should approach the worker count.
+func BenchmarkEngineRun(b *testing.B) {
+	e := benchEngine()
+	// Warm the artifact cache outside the timed region.
+	for _, name := range core.ProgramOrder {
+		artifacts(b, name)
+	}
+	tables := map[string]bool{"3": true, "4": true, "5": true, "6": true}
+	for _, workers := range []int{1, 4} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var res *core.RunResult
+			var err error
+			for i := 0; i < b.N; i++ {
+				res, err = e.Run(core.Spec{Tables: tables, Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.CPUTime().Seconds()/res.Wall.Seconds(), "overlap")
 		})
 	}
 }

@@ -6,21 +6,29 @@
 // Usage:
 //
 //	lptables [-scale 0.25] [-seed 1993] [-tables 2,3,4,5,6,7,8,9]
+//	         [-programs cfrac,perl] [-workers N] [-timings]
 //
 // Scale 1.0 reproduces the paper-scale traces (millions of objects);
 // smaller scales run proportionally faster. Prediction percentages are
 // essentially scale-invariant; live-heap figures are calibrated at 1.0.
+//
+// The run is scheduled as a DAG by core.Engine: each program's trace
+// build fans out first, then every requested table computation for that
+// program runs as soon as its build lands, all on a -workers pool. The
+// printed report is byte-identical at any worker count; -timings adds a
+// per-cell wall-clock summary on stderr.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"repro/internal/cliutil"
 	"repro/internal/core"
-	"repro/internal/table"
 )
 
 const name = "lptables"
@@ -28,304 +36,57 @@ const name = "lptables"
 func main() {
 	scale := flag.Float64("scale", 0.25, "trace scale relative to the paper's runs")
 	seed := flag.Uint64("seed", 1993, "base RNG seed")
-	tables := flag.String("tables", "1,2,3,4,5,6,7,8,9,L,A", "comma-separated tables to produce (L = locality extension, A = ablations)")
+	tables := flag.String("tables", strings.Join(core.TableFlags, ","), "comma-separated tables to produce (L = locality extension, A = ablations)")
+	programs := flag.String("programs", "", "comma-separated subset of programs to run (default all)")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "max concurrent builds/table cells")
+	timings := flag.Bool("timings", false, "print per-cell wall-clock summary to stderr")
 	cliutil.Parse(name,
 		"regenerate the paper's tables from the models and simulators",
-		"lptables -scale 0.25 -seed 1993 -tables 2,7,8")
+		"lptables -scale 0.25 -seed 1993 -tables 2,7,8 -workers 4")
 
-	want := map[string]bool{}
-	for _, t := range strings.Split(*tables, ",") {
-		want[strings.TrimSpace(t)] = true
+	want, err := core.ParseTables(*tables)
+	if err != nil {
+		cliutil.UsageError(name, "%v", err)
+	}
+	if *workers < 1 {
+		cliutil.UsageError(name, "-workers must be at least 1 (got %d)", *workers)
+	}
+	var progList []string
+	if s := strings.TrimSpace(*programs); s != "" {
+		progList = strings.Split(s, ",")
 	}
 
 	cfg := core.DefaultConfig(*scale)
 	cfg.SeedBase = *seed
+	eng := core.NewEngine(cfg)
 
-	fmt.Printf("lifetime-prediction reproduction; scale=%g seed=%d\n", *scale, *seed)
-	fmt.Printf("(paper values in parentheses)\n\n")
-
-	// Build artifacts per model once; render requested tables.
-	t1 := table.New("Table 1: the test programs (model descriptions)",
-		"Program", "Source lines", "Description")
-	t2 := table.New("Table 2: allocation behaviour",
-		"Program", "Bytes(M)", "Objects(M)", "MaxKB", "MaxObjs", "HeapRef%")
-	t3 := table.New("Table 3: object lifetime quartiles (bytes, byte-weighted)",
-		"Program", "min", "25%", "50%", "75%", "max")
-	t4 := table.New("Table 4: prediction from allocation site and size",
-		"Program", "Sites", "Actual%", "SelfUsed", "Self%", "SelfErr%", "TrueUsed", "True%", "TrueErr%")
-	t5 := table.New("Table 5: prediction from size only (self)",
-		"Program", "Actual%", "Pred%", "SizesUsed")
-	t6 := table.New("Table 6: call-chain length vs predicted short-lived % (self)",
-		"Program", "len1", "len2", "len3", "len4", "len5", "len6", "len7", "complete")
-	t6r := table.New("Table 6 (New Ref %): heap references to predicted-short objects",
-		"Program", "len1", "len2", "len3", "len4", "len5", "len6", "len7", "complete")
-	t7 := table.New("Table 7: arena occupancy under true prediction (16 x 4KB arenas)",
-		"Program", "Allocs(K)", "Arena%", "NonArena%", "Bytes(KB)", "ArenaB%", "NonArenaB%")
-	t8 := table.New("Table 8: maximum heap sizes (KB)",
-		"Program", "FirstFit", "SelfArena", "Self/FF%", "TrueArena", "True/FF%")
-	t9 := table.New("Table 9: instructions per operation (true prediction)",
-		"Program", "BSD a", "BSD f", "FF a", "FF f", "Len4 a", "Len4 f", "CCE a", "CCE f")
-	tl := table.New("Locality extension: 256KB 4-way cache, 256KB LRU resident set",
-		"Program", "FF miss%", "Arena miss%", "FF fault%", "Arena fault%", "FF pages", "Arena pages")
-	ta1 := table.New("Ablation: short-lived threshold (self prediction)",
-		"Program", "8KB", "16KB", "32KB", "64KB", "128KB")
-	ta2 := table.New("Ablation: admission fraction (self% / true-error%)",
-		"Program", "1.00", "0.99", "0.95", "0.90")
-	ta3 := table.New("Ablation: arena geometry at 64KB total (arena-alloc% / pinned)",
-		"Program", "1x64KB", "4x16KB", "16x4KB", "64x1KB")
-	ta4 := table.New("Ablation: free-list policy (max heap KB / probes per alloc)",
-		"Program", "next-fit (A4')", "rover-on-free (K&R)", "best-fit")
-	ta5 := table.New("Extension: call-chain-encryption predictor quality (self)",
-		"Program", "exact%", "cce%", "collisions", "exact sites", "cce sites")
-	ta6 := table.New("Extension: generational GC pretenuring (copied KB)",
-		"Program", "baseline", "pretenured", "pretenured objs")
-	ta7 := table.New("Extension: CUSTOMALLOC-style top-16-size allocator vs arena (max heap KB)",
-		"Program", "fast-path%", "custom", "arena", "first-fit")
-	ta8 := table.New("Extension: per-site arena pools vs shared arenas (true prediction)",
-		"Program", "shared alloc%", "per-site alloc%", "shared KB", "per-site KB", "pinned pools")
-
-	pct := func(measured, paper float64) string {
-		return fmt.Sprintf("%.1f (%.1f)", measured, paper)
-	}
-	cnt := func(measured int, paper int) string {
-		return fmt.Sprintf("%d (%d)", measured, paper)
-	}
-	kb := func(measured, paper int64) string {
-		return fmt.Sprintf("%d (%d)", measured, paper)
-	}
-
-	for _, m := range cfg.Models {
-		fmt.Fprintf(os.Stderr, "building %s...\n", m.Name)
-		a, err := cfg.Build(m)
-		if err != nil {
-			fatal(err)
+	res, err := eng.Run(core.Spec{
+		Tables:   want,
+		Programs: progList,
+		Workers:  *workers,
+		Progress: func(msg string) { fmt.Fprintln(os.Stderr, msg) },
+	})
+	if err != nil {
+		if strings.Contains(err.Error(), "unknown program") {
+			cliutil.UsageError(name, "%v", err)
 		}
-		p2 := core.PaperTable2[m.Name]
-		p3 := core.PaperTable3[m.Name]
-		p4 := core.PaperTable4[m.Name]
-		p5 := core.PaperTable5[m.Name]
-		p6 := core.PaperTable6[m.Name]
-		p7 := core.PaperTable7[m.Name]
-		p8 := core.PaperTable8[m.Name]
-		p9 := core.PaperTable9[m.Name]
-
-		if want["1"] {
-			t1.RowStrings(m.Name, fmt.Sprintf("%d", m.SourceLines), m.Description)
-		}
-		if want["2"] {
-			row, err := cfg.Table2(a)
-			if err != nil {
-				fatal(err)
-			}
-			t2.RowStrings(m.Name,
-				fmt.Sprintf("%.1f (%.1f)", float64(row.TotalBytes)/1e6, p2.TotalBytesM**scale),
-				fmt.Sprintf("%.2f (%.2f)", float64(row.TotalObjects)/1e6, p2.TotalObjectsM**scale),
-				kb(row.MaxBytes>>10, p2.MaxKB),
-				kb(row.MaxObjects, p2.MaxObjects),
-				pct(row.HeapRefPct, p2.HeapRefsPct))
-		}
-		if want["3"] {
-			row := cfg.Table3(a)
-			cells := []string{m.Name}
-			for i := 0; i < 5; i++ {
-				cells = append(cells, fmt.Sprintf("%.0f (%.0f)", row.Quartiles[i], p3[i]))
-			}
-			t3.RowStrings(cells...)
-		}
-		if want["4"] {
-			row := cfg.Table4(a)
-			t4.RowStrings(m.Name,
-				cnt(row.TotalSites, p4.TotalSites),
-				pct(row.ActualShortPct, p4.ActualShortPct),
-				cnt(row.SelfSitesUsed, p4.SelfSitesUsed),
-				pct(row.SelfPredPct, p4.SelfPredPct),
-				pct(row.SelfErrorPct, p4.SelfErrorPct),
-				cnt(row.TrueSitesUsed, p4.TrueSitesUsed),
-				pct(row.TruePredPct, p4.TruePredPct),
-				pct(row.TrueErrorPct, p4.TrueErrorPct))
-		}
-		if want["5"] {
-			row := cfg.Table5(a)
-			t5.RowStrings(m.Name,
-				pct(row.ActualShortPct, p5.ActualShortPct),
-				pct(row.PredPct, p5.PredPct),
-				cnt(row.SitesUsed, p5.SitesUsed))
-		}
-		if want["6"] {
-			row := cfg.Table6(a)
-			cells := []string{m.Name}
-			refs := []string{m.Name}
-			for i := 0; i < 8; i++ {
-				cells = append(cells, fmt.Sprintf("%.0f (%.0f)", row.PredPct[i], p6.PredPct[i]))
-				refs = append(refs, fmt.Sprintf("%.0f (%.0f)", row.NewRef[i], p6.NewRef[i]))
-			}
-			t6.RowStrings(cells...)
-			t6r.RowStrings(refs...)
-		}
-		if want["7"] {
-			row, err := cfg.Table7(a)
-			if err != nil {
-				fatal(err)
-			}
-			t7.RowStrings(m.Name,
-				fmt.Sprintf("%.1f (%.1f)", float64(row.TotalAllocs)/1e3, p7.TotalAllocsK**scale),
-				pct(row.ArenaAllocPct, p7.ArenaAllocPct),
-				pct(100-row.ArenaAllocPct, 100-p7.ArenaAllocPct),
-				fmt.Sprintf("%d (%.0f)", row.TotalBytes>>10, float64(p7.TotalKB)**scale),
-				pct(row.ArenaBytePct, p7.ArenaBytePct),
-				pct(100-row.ArenaBytePct, 100-p7.ArenaBytePct))
-		}
-		if want["8"] {
-			row, err := cfg.Table8(a)
-			if err != nil {
-				fatal(err)
-			}
-			t8.RowStrings(m.Name,
-				kb(row.FirstFitKB, p8.FirstFitKB),
-				kb(row.SelfArenaKB, p8.SelfArenaKB),
-				pct(row.SelfRatioPct, p8.SelfRatioPct),
-				kb(row.TrueArenaKB, p8.TrueArenaKB),
-				pct(row.TrueRatioPct, p8.TrueRatioPct))
-		}
-		if want["9"] {
-			row, err := cfg.Table9(a)
-			if err != nil {
-				fatal(err)
-			}
-			t9.RowStrings(m.Name,
-				pct(row.BSD.Alloc, p9.BSDAlloc), pct(row.BSD.Free, p9.BSDFree),
-				pct(row.FirstFit.Alloc, p9.FFAlloc), pct(row.FirstFit.Free, p9.FFFree),
-				pct(row.Len4.Alloc, p9.Len4Alloc), pct(row.Len4.Free, p9.Len4Free),
-				pct(row.CCE.Alloc, p9.CCEAlloc), pct(row.CCE.Free, p9.CCEFree))
-		}
-		if want["L"] {
-			row, err := cfg.Locality(a)
-			if err != nil {
-				fatal(err)
-			}
-			tl.Row(m.Name,
-				fmt.Sprintf("%.2f", row.FirstFitMissPct),
-				fmt.Sprintf("%.2f", row.ArenaMissPct),
-				fmt.Sprintf("%.3f", row.FirstFitFaultPct),
-				fmt.Sprintf("%.3f", row.ArenaFaultPct),
-				row.FirstFitPages, row.ArenaPages)
-		}
-		if want["A"] {
-			th := cfg.ThresholdSweep(a, []int64{8, 16, 32, 64, 128})
-			cells := []string{m.Name}
-			for _, r := range th {
-				cells = append(cells, fmt.Sprintf("%.1f", r.PredPct))
-			}
-			ta1.RowStrings(cells...)
-
-			ad := cfg.AdmitSweep(a, []float64{1.0, 0.99, 0.95, 0.90})
-			cells = []string{m.Name}
-			for _, r := range ad {
-				cells = append(cells, fmt.Sprintf("%.1f/%.2f", r.SelfPredPct, r.TrueErrorPct))
-			}
-			ta2.RowStrings(cells...)
-
-			geo, err := cfg.ArenaGeometrySweep(a, [][2]int{{1, 64}, {4, 16}, {16, 4}, {64, 1}})
-			if err != nil {
-				fatal(err)
-			}
-			cells = []string{m.Name}
-			for _, r := range geo {
-				cells = append(cells, fmt.Sprintf("%.1f/%d", r.ArenaAllocPct, r.PinnedArenas))
-			}
-			ta3.RowStrings(cells...)
-
-			fit, err := cfg.FitPolicySweep(a)
-			if err != nil {
-				fatal(err)
-			}
-			cells = []string{m.Name}
-			for _, r := range fit {
-				cells = append(cells, fmt.Sprintf("%d/%.1f", r.MaxHeapKB, r.ProbesPerOp))
-			}
-			ta4.RowStrings(cells...)
-
-			cq := cfg.CCEQuality(a)
-			ta5.RowStrings(m.Name,
-				fmt.Sprintf("%.1f", cq.ExactPredPct),
-				fmt.Sprintf("%.1f", cq.CCEPredPct),
-				fmt.Sprintf("%d", cq.KeyCollisions),
-				fmt.Sprintf("%d", cq.ExactSites),
-				fmt.Sprintf("%d", cq.CCESites))
-
-			gc, err := cfg.GCPretenuring(a)
-			if err != nil {
-				fatal(err)
-			}
-			ta6.RowStrings(m.Name,
-				fmt.Sprintf("%d", gc.BaseCopiedKB),
-				fmt.Sprintf("%d", gc.PreCopiedKB),
-				fmt.Sprintf("%d", gc.Pretenured))
-
-			cu, err := cfg.CustomAllocComparison(a)
-			if err != nil {
-				fatal(err)
-			}
-			ta7.RowStrings(m.Name,
-				fmt.Sprintf("%.1f", cu.CustomFastPct),
-				fmt.Sprintf("%d", cu.CustomHeapKB),
-				fmt.Sprintf("%d", cu.ArenaHeapKB),
-				fmt.Sprintf("%d", cu.FirstFitHeapKB))
-
-			sa, err := cfg.SiteArenaComparison(a)
-			if err != nil {
-				fatal(err)
-			}
-			ta8.RowStrings(m.Name,
-				fmt.Sprintf("%.1f", sa.SharedAllocPct),
-				fmt.Sprintf("%.1f", sa.SitedAllocPct),
-				fmt.Sprintf("%d", sa.SharedHeapKB),
-				fmt.Sprintf("%d", sa.SitedHeapKB),
-				fmt.Sprintf("%d", sa.PinnedPools))
-		}
+		fatal(err)
 	}
 
-	if want["1"] {
-		t1.WriteTo(os.Stdout)
+	if _, err := fmt.Printf("lifetime-prediction reproduction; scale=%g seed=%d\n(paper values in parentheses)\n\n", *scale, *seed); err != nil {
+		fatal(err)
 	}
-	if want["2"] {
-		t2.WriteTo(os.Stdout)
+	if _, err := os.Stdout.Write(res.Output); err != nil {
+		fatal(err)
 	}
-	if want["3"] {
-		t3.WriteTo(os.Stdout)
-	}
-	if want["4"] {
-		t4.WriteTo(os.Stdout)
-	}
-	if want["5"] {
-		t5.WriteTo(os.Stdout)
-	}
-	if want["6"] {
-		t6.WriteTo(os.Stdout)
-		t6r.WriteTo(os.Stdout)
-	}
-	if want["7"] {
-		t7.WriteTo(os.Stdout)
-	}
-	if want["8"] {
-		t8.WriteTo(os.Stdout)
-	}
-	if want["9"] {
-		t9.WriteTo(os.Stdout)
-	}
-	if want["L"] {
-		tl.WriteTo(os.Stdout)
-	}
-	if want["A"] {
-		ta1.WriteTo(os.Stdout)
-		ta2.WriteTo(os.Stdout)
-		ta3.WriteTo(os.Stdout)
-		ta4.WriteTo(os.Stdout)
-		ta5.WriteTo(os.Stdout)
-		ta6.WriteTo(os.Stdout)
-		ta7.WriteTo(os.Stdout)
-		ta8.WriteTo(os.Stdout)
+
+	if *timings {
+		var b bytes.Buffer
+		res.WriteTimings(&b)
+		fmt.Fprint(os.Stderr, b.String())
 	}
 }
 
-func fatal(err error) { cliutil.Fatal(name, err) }
+func fatal(err error) {
+	cliutil.Fatal(name, err)
+}

@@ -1,0 +1,221 @@
+// Golden-file and CLI-contract tests for lptables. The goldens pin the
+// exact report bytes at scale 0.02, seed 1993 — the determinism the
+// engine guarantees at any worker count. Regenerate after an intentional
+// output change with:
+//
+//	go test ./cmd/lptables -run TestGolden -update
+//
+// and review the diff like any other code change.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files from the current engine output")
+
+const (
+	goldenScale = 0.02
+	goldenSeed  = 1993
+)
+
+// One engine shared by the golden tests: the -tables A run reuses the
+// full run's cached artifacts instead of rebuilding every trace.
+var (
+	engOnce sync.Once
+	eng     *core.Engine
+)
+
+func goldenEngine() *core.Engine {
+	engOnce.Do(func() {
+		cfg := core.DefaultConfig(goldenScale)
+		cfg.SeedBase = goldenSeed
+		eng = core.NewEngine(cfg)
+	})
+	return eng
+}
+
+// render reproduces lptables stdout for the given table spec: the header
+// lines followed by the engine's report.
+func render(t *testing.T, tables string, workers int) []byte {
+	t.Helper()
+	want, err := core.ParseTables(tables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := goldenEngine().Run(core.Spec{Tables: want, Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "lifetime-prediction reproduction; scale=%g seed=%d\n(paper values in parentheses)\n\n",
+		goldenScale, goldenSeed)
+	b.Write(res.Output)
+	return b.Bytes()
+}
+
+func checkGolden(t *testing.T, path string, got []byte) {
+	t.Helper()
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if bytes.Equal(want, got) {
+		return
+	}
+	// Point at the first differing line so a drift is diagnosable
+	// without a byte-offset hunt.
+	wl, gl := strings.Split(string(want), "\n"), strings.Split(string(got), "\n")
+	for i := 0; i < len(wl) || i < len(gl); i++ {
+		w, g := "", ""
+		if i < len(wl) {
+			w = wl[i]
+		}
+		if i < len(gl) {
+			g = gl[i]
+		}
+		if w != g {
+			t.Fatalf("%s: first difference at line %d:\n golden: %q\n    got: %q\n(rerun with -update if the change is intentional)",
+				filepath.Base(path), i+1, w, g)
+		}
+	}
+	t.Fatalf("%s: outputs differ in length only: golden %d bytes, got %d", filepath.Base(path), len(want), len(got))
+}
+
+func TestGoldenFullReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden run is seconds-long; skipped in -short")
+	}
+	got := render(t, strings.Join(core.TableFlags, ","), 4)
+	checkGolden(t, filepath.Join("testdata", "golden-scale0.02-seed1993.txt"), got)
+}
+
+func TestGoldenAblationsOnly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden run is seconds-long; skipped in -short")
+	}
+	got := render(t, "A", 4)
+	checkGolden(t, filepath.Join("testdata", "golden-scale0.02-seed1993-tablesA.txt"), got)
+}
+
+// TestGoldenWorkerInvariance re-renders a slice of the report serially
+// and checks it against the workers=4 bytes that the goldens pinned —
+// the user-visible face of the engine's determinism guarantee.
+func TestGoldenWorkerInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden run is seconds-long; skipped in -short")
+	}
+	if !bytes.Equal(render(t, "A", 1), render(t, "A", 4)) {
+		t.Fatal("workers=1 and workers=4 rendered different bytes")
+	}
+}
+
+// --- CLI contract (exec-based): bad flags exit 2 with a usage pointer ---
+
+var (
+	binOnce sync.Once
+	binPath string
+	binErr  error
+)
+
+func lptablesBin(t *testing.T) string {
+	t.Helper()
+	binOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "lptables-bin")
+		if err != nil {
+			binErr = err
+			return
+		}
+		binPath = filepath.Join(dir, "lptables")
+		if out, err := exec.Command("go", "build", "-o", binPath, "repro/cmd/lptables").CombinedOutput(); err != nil {
+			binErr = fmt.Errorf("go build: %v\n%s", err, out)
+		}
+	})
+	if binErr != nil {
+		t.Fatal(binErr)
+	}
+	return binPath
+}
+
+func runLptables(t *testing.T, args ...string) (stdout, stderr string, code int) {
+	t.Helper()
+	cmd := exec.Command(lptablesBin(t), args...)
+	var out, errb bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &errb
+	err := cmd.Run()
+	if err != nil {
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("lptables %v: %v", args, err)
+		}
+		code = ee.ExitCode()
+	}
+	return out.String(), errb.String(), code
+}
+
+func TestUsageErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		msg  string
+	}{
+		{"bad tables letter", []string{"-scale", "0.01", "-tables", "2,Q"}, `unknown table "Q"`},
+		{"unknown program", []string{"-scale", "0.01", "-programs", "netscape"}, `unknown program "netscape"`},
+		{"zero workers", []string{"-scale", "0.01", "-workers", "0"}, "-workers must be at least 1"},
+		{"negative workers", []string{"-scale", "0.01", "-workers", "-2"}, "-workers must be at least 1"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			stdout, stderr, code := runLptables(t, tc.args...)
+			if code != 2 {
+				t.Fatalf("exit code = %d, want 2 (stderr: %s)", code, stderr)
+			}
+			if !strings.Contains(stderr, tc.msg) {
+				t.Errorf("stderr missing %q:\n%s", tc.msg, stderr)
+			}
+			if !strings.Contains(stderr, "run lptables -help for usage") {
+				t.Errorf("stderr missing usage pointer:\n%s", stderr)
+			}
+			if stdout != "" {
+				t.Errorf("usage error wrote to stdout: %q", stdout)
+			}
+		})
+	}
+}
+
+func TestTimingsFlagWritesStderrOnly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exec run is seconds-long; skipped in -short")
+	}
+	stdout, stderr, code := runLptables(t,
+		"-scale", "0.005", "-tables", "1", "-programs", "cfrac", "-timings")
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "per-cell wall clock") || !strings.Contains(stderr, "overlap") {
+		t.Errorf("stderr missing timing summary:\n%s", stderr)
+	}
+	if strings.Contains(stdout, "wall clock") {
+		t.Error("timing summary leaked into stdout")
+	}
+	if !strings.Contains(stdout, "Table 1:") {
+		t.Errorf("report missing from stdout:\n%s", stdout)
+	}
+}

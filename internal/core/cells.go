@@ -1,0 +1,306 @@
+package core
+
+import (
+	"fmt"
+)
+
+// This file defines the experiment cells the Engine schedules: one cell
+// per (program, table/ablation) pair, each rendering its measured row(s)
+// next to the paper's published values. The formatting used to live in
+// cmd/lptables; it moved here so the CLI, the golden-file tests, and the
+// root benchmarks share one code path (and one byte-exact output).
+
+// TableFlags are the -tables keys lptables accepts, in render order.
+// "L" is the locality extension, "A" the ablation/extension suite.
+var TableFlags = []string{"1", "2", "3", "4", "5", "6", "7", "8", "9", "L", "A"}
+
+// tableDef describes one rendered output table.
+type tableDef struct {
+	id      string // internal id ("t6r" and "ta1".."ta8" have no flag of their own)
+	flag    string // the -tables key that prints it
+	cell    string // the cell that computes its rows
+	title   string
+	headers []string
+}
+
+// tableDefs lists every output table in render order. Each table's rows
+// are produced by exactly one cell per program.
+var tableDefs = []tableDef{
+	{"t1", "1", "1", "Table 1: the test programs (model descriptions)",
+		[]string{"Program", "Source lines", "Description"}},
+	{"t2", "2", "2", "Table 2: allocation behaviour",
+		[]string{"Program", "Bytes(M)", "Objects(M)", "MaxKB", "MaxObjs", "HeapRef%"}},
+	{"t3", "3", "3", "Table 3: object lifetime quartiles (bytes, byte-weighted)",
+		[]string{"Program", "min", "25%", "50%", "75%", "max"}},
+	{"t4", "4", "4", "Table 4: prediction from allocation site and size",
+		[]string{"Program", "Sites", "Actual%", "SelfUsed", "Self%", "SelfErr%", "TrueUsed", "True%", "TrueErr%"}},
+	{"t5", "5", "5", "Table 5: prediction from size only (self)",
+		[]string{"Program", "Actual%", "Pred%", "SizesUsed"}},
+	{"t6", "6", "6", "Table 6: call-chain length vs predicted short-lived % (self)",
+		[]string{"Program", "len1", "len2", "len3", "len4", "len5", "len6", "len7", "complete"}},
+	{"t6r", "6", "6", "Table 6 (New Ref %): heap references to predicted-short objects",
+		[]string{"Program", "len1", "len2", "len3", "len4", "len5", "len6", "len7", "complete"}},
+	{"t7", "7", "7", "Table 7: arena occupancy under true prediction (16 x 4KB arenas)",
+		[]string{"Program", "Allocs(K)", "Arena%", "NonArena%", "Bytes(KB)", "ArenaB%", "NonArenaB%"}},
+	{"t8", "8", "8", "Table 8: maximum heap sizes (KB)",
+		[]string{"Program", "FirstFit", "SelfArena", "Self/FF%", "TrueArena", "True/FF%"}},
+	{"t9", "9", "9", "Table 9: instructions per operation (true prediction)",
+		[]string{"Program", "BSD a", "BSD f", "FF a", "FF f", "Len4 a", "Len4 f", "CCE a", "CCE f"}},
+	{"tl", "L", "L", "Locality extension: 256KB 4-way cache, 256KB LRU resident set",
+		[]string{"Program", "FF miss%", "Arena miss%", "FF fault%", "Arena fault%", "FF pages", "Arena pages"}},
+	{"ta1", "A", "A1", "Ablation: short-lived threshold (self prediction)",
+		[]string{"Program", "8KB", "16KB", "32KB", "64KB", "128KB"}},
+	{"ta2", "A", "A2", "Ablation: admission fraction (self% / true-error%)",
+		[]string{"Program", "1.00", "0.99", "0.95", "0.90"}},
+	{"ta3", "A", "A3", "Ablation: arena geometry at 64KB total (arena-alloc% / pinned)",
+		[]string{"Program", "1x64KB", "4x16KB", "16x4KB", "64x1KB"}},
+	{"ta4", "A", "A4", "Ablation: free-list policy (max heap KB / probes per alloc)",
+		[]string{"Program", "next-fit (A4')", "rover-on-free (K&R)", "best-fit"}},
+	{"ta5", "A", "A5", "Extension: call-chain-encryption predictor quality (self)",
+		[]string{"Program", "exact%", "cce%", "collisions", "exact sites", "cce sites"}},
+	{"ta6", "A", "A6", "Extension: generational GC pretenuring (copied KB)",
+		[]string{"Program", "baseline", "pretenured", "pretenured objs"}},
+	{"ta7", "A", "A7", "Extension: CUSTOMALLOC-style top-16-size allocator vs arena (max heap KB)",
+		[]string{"Program", "fast-path%", "custom", "arena", "first-fit"}},
+	{"ta8", "A", "A8", "Extension: per-site arena pools vs shared arenas (true prediction)",
+		[]string{"Program", "shared alloc%", "per-site alloc%", "shared KB", "per-site KB", "pinned pools"}},
+}
+
+// rowSink receives one formatted row for one output table.
+type rowSink func(tableID string, cells ...string)
+
+// cellDef is one schedulable unit of per-program work: it runs once the
+// program's Artifacts exist and renders its row(s) through the sink.
+type cellDef struct {
+	name string // "1".."9", "L", "A1".."A8"
+	flag string // the -tables key that enables it
+	run  func(c Config, a *Artifacts, add rowSink) error
+}
+
+// measured-vs-paper formatting helpers (the parenthesized value is the
+// paper's published number).
+func fmtPct(measured, paper float64) string {
+	return fmt.Sprintf("%.1f (%.1f)", measured, paper)
+}
+
+func fmtCnt(measured, paper int) string {
+	return fmt.Sprintf("%d (%d)", measured, paper)
+}
+
+func fmtKB(measured, paper int64) string {
+	return fmt.Sprintf("%d (%d)", measured, paper)
+}
+
+// cellDefs lists every cell in deterministic schedule order (the order
+// rows were computed in the original serial loop).
+var cellDefs = []cellDef{
+	{"1", "1", func(c Config, a *Artifacts, add rowSink) error {
+		m := a.Model
+		add("t1", m.Name, fmt.Sprintf("%d", m.SourceLines), m.Description)
+		return nil
+	}},
+	{"2", "2", func(c Config, a *Artifacts, add rowSink) error {
+		row, err := c.Table2(a)
+		if err != nil {
+			return err
+		}
+		p2 := PaperTable2[a.Model.Name]
+		add("t2", a.Model.Name,
+			fmt.Sprintf("%.1f (%.1f)", float64(row.TotalBytes)/1e6, p2.TotalBytesM*c.Scale),
+			fmt.Sprintf("%.2f (%.2f)", float64(row.TotalObjects)/1e6, p2.TotalObjectsM*c.Scale),
+			fmtKB(row.MaxBytes>>10, p2.MaxKB),
+			fmtKB(row.MaxObjects, p2.MaxObjects),
+			fmtPct(row.HeapRefPct, p2.HeapRefsPct))
+		return nil
+	}},
+	{"3", "3", func(c Config, a *Artifacts, add rowSink) error {
+		row := c.Table3(a)
+		p3 := PaperTable3[a.Model.Name]
+		cells := []string{a.Model.Name}
+		for i := 0; i < 5; i++ {
+			cells = append(cells, fmt.Sprintf("%.0f (%.0f)", row.Quartiles[i], p3[i]))
+		}
+		add("t3", cells...)
+		return nil
+	}},
+	{"4", "4", func(c Config, a *Artifacts, add rowSink) error {
+		row := c.Table4(a)
+		p4 := PaperTable4[a.Model.Name]
+		add("t4", a.Model.Name,
+			fmtCnt(row.TotalSites, p4.TotalSites),
+			fmtPct(row.ActualShortPct, p4.ActualShortPct),
+			fmtCnt(row.SelfSitesUsed, p4.SelfSitesUsed),
+			fmtPct(row.SelfPredPct, p4.SelfPredPct),
+			fmtPct(row.SelfErrorPct, p4.SelfErrorPct),
+			fmtCnt(row.TrueSitesUsed, p4.TrueSitesUsed),
+			fmtPct(row.TruePredPct, p4.TruePredPct),
+			fmtPct(row.TrueErrorPct, p4.TrueErrorPct))
+		return nil
+	}},
+	{"5", "5", func(c Config, a *Artifacts, add rowSink) error {
+		row := c.Table5(a)
+		p5 := PaperTable5[a.Model.Name]
+		add("t5", a.Model.Name,
+			fmtPct(row.ActualShortPct, p5.ActualShortPct),
+			fmtPct(row.PredPct, p5.PredPct),
+			fmtCnt(row.SitesUsed, p5.SitesUsed))
+		return nil
+	}},
+	{"6", "6", func(c Config, a *Artifacts, add rowSink) error {
+		row := c.Table6(a)
+		p6 := PaperTable6[a.Model.Name]
+		cells := []string{a.Model.Name}
+		refs := []string{a.Model.Name}
+		for i := 0; i < 8; i++ {
+			cells = append(cells, fmt.Sprintf("%.0f (%.0f)", row.PredPct[i], p6.PredPct[i]))
+			refs = append(refs, fmt.Sprintf("%.0f (%.0f)", row.NewRef[i], p6.NewRef[i]))
+		}
+		add("t6", cells...)
+		add("t6r", refs...)
+		return nil
+	}},
+	{"7", "7", func(c Config, a *Artifacts, add rowSink) error {
+		row, err := c.Table7(a)
+		if err != nil {
+			return err
+		}
+		p7 := PaperTable7[a.Model.Name]
+		add("t7", a.Model.Name,
+			fmt.Sprintf("%.1f (%.1f)", float64(row.TotalAllocs)/1e3, p7.TotalAllocsK*c.Scale),
+			fmtPct(row.ArenaAllocPct, p7.ArenaAllocPct),
+			fmtPct(100-row.ArenaAllocPct, 100-p7.ArenaAllocPct),
+			fmt.Sprintf("%d (%.0f)", row.TotalBytes>>10, float64(p7.TotalKB)*c.Scale),
+			fmtPct(row.ArenaBytePct, p7.ArenaBytePct),
+			fmtPct(100-row.ArenaBytePct, 100-p7.ArenaBytePct))
+		return nil
+	}},
+	{"8", "8", func(c Config, a *Artifacts, add rowSink) error {
+		row, err := c.Table8(a)
+		if err != nil {
+			return err
+		}
+		p8 := PaperTable8[a.Model.Name]
+		add("t8", a.Model.Name,
+			fmtKB(row.FirstFitKB, p8.FirstFitKB),
+			fmtKB(row.SelfArenaKB, p8.SelfArenaKB),
+			fmtPct(row.SelfRatioPct, p8.SelfRatioPct),
+			fmtKB(row.TrueArenaKB, p8.TrueArenaKB),
+			fmtPct(row.TrueRatioPct, p8.TrueRatioPct))
+		return nil
+	}},
+	{"9", "9", func(c Config, a *Artifacts, add rowSink) error {
+		row, err := c.Table9(a)
+		if err != nil {
+			return err
+		}
+		p9 := PaperTable9[a.Model.Name]
+		add("t9", a.Model.Name,
+			fmtPct(row.BSD.Alloc, p9.BSDAlloc), fmtPct(row.BSD.Free, p9.BSDFree),
+			fmtPct(row.FirstFit.Alloc, p9.FFAlloc), fmtPct(row.FirstFit.Free, p9.FFFree),
+			fmtPct(row.Len4.Alloc, p9.Len4Alloc), fmtPct(row.Len4.Free, p9.Len4Free),
+			fmtPct(row.CCE.Alloc, p9.CCEAlloc), fmtPct(row.CCE.Free, p9.CCEFree))
+		return nil
+	}},
+	{"L", "L", func(c Config, a *Artifacts, add rowSink) error {
+		row, err := c.Locality(a)
+		if err != nil {
+			return err
+		}
+		add("tl", a.Model.Name,
+			fmt.Sprintf("%.2f", row.FirstFitMissPct),
+			fmt.Sprintf("%.2f", row.ArenaMissPct),
+			fmt.Sprintf("%.3f", row.FirstFitFaultPct),
+			fmt.Sprintf("%.3f", row.ArenaFaultPct),
+			fmt.Sprintf("%d", row.FirstFitPages),
+			fmt.Sprintf("%d", row.ArenaPages))
+		return nil
+	}},
+	{"A1", "A", func(c Config, a *Artifacts, add rowSink) error {
+		th := c.ThresholdSweep(a, []int64{8, 16, 32, 64, 128})
+		cells := []string{a.Model.Name}
+		for _, r := range th {
+			cells = append(cells, fmt.Sprintf("%.1f", r.PredPct))
+		}
+		add("ta1", cells...)
+		return nil
+	}},
+	{"A2", "A", func(c Config, a *Artifacts, add rowSink) error {
+		ad := c.AdmitSweep(a, []float64{1.0, 0.99, 0.95, 0.90})
+		cells := []string{a.Model.Name}
+		for _, r := range ad {
+			cells = append(cells, fmt.Sprintf("%.1f/%.2f", r.SelfPredPct, r.TrueErrorPct))
+		}
+		add("ta2", cells...)
+		return nil
+	}},
+	{"A3", "A", func(c Config, a *Artifacts, add rowSink) error {
+		geo, err := c.ArenaGeometrySweep(a, [][2]int{{1, 64}, {4, 16}, {16, 4}, {64, 1}})
+		if err != nil {
+			return err
+		}
+		cells := []string{a.Model.Name}
+		for _, r := range geo {
+			cells = append(cells, fmt.Sprintf("%.1f/%d", r.ArenaAllocPct, r.PinnedArenas))
+		}
+		add("ta3", cells...)
+		return nil
+	}},
+	{"A4", "A", func(c Config, a *Artifacts, add rowSink) error {
+		fit, err := c.FitPolicySweep(a)
+		if err != nil {
+			return err
+		}
+		cells := []string{a.Model.Name}
+		for _, r := range fit {
+			cells = append(cells, fmt.Sprintf("%d/%.1f", r.MaxHeapKB, r.ProbesPerOp))
+		}
+		add("ta4", cells...)
+		return nil
+	}},
+	{"A5", "A", func(c Config, a *Artifacts, add rowSink) error {
+		cq := c.CCEQuality(a)
+		add("ta5", a.Model.Name,
+			fmt.Sprintf("%.1f", cq.ExactPredPct),
+			fmt.Sprintf("%.1f", cq.CCEPredPct),
+			fmt.Sprintf("%d", cq.KeyCollisions),
+			fmt.Sprintf("%d", cq.ExactSites),
+			fmt.Sprintf("%d", cq.CCESites))
+		return nil
+	}},
+	{"A6", "A", func(c Config, a *Artifacts, add rowSink) error {
+		gc, err := c.GCPretenuring(a)
+		if err != nil {
+			return err
+		}
+		add("ta6", a.Model.Name,
+			fmt.Sprintf("%d", gc.BaseCopiedKB),
+			fmt.Sprintf("%d", gc.PreCopiedKB),
+			fmt.Sprintf("%d", gc.Pretenured))
+		return nil
+	}},
+	{"A7", "A", func(c Config, a *Artifacts, add rowSink) error {
+		cu, err := c.CustomAllocComparison(a)
+		if err != nil {
+			return err
+		}
+		add("ta7", a.Model.Name,
+			fmt.Sprintf("%.1f", cu.CustomFastPct),
+			fmt.Sprintf("%d", cu.CustomHeapKB),
+			fmt.Sprintf("%d", cu.ArenaHeapKB),
+			fmt.Sprintf("%d", cu.FirstFitHeapKB))
+		return nil
+	}},
+	{"A8", "A", func(c Config, a *Artifacts, add rowSink) error {
+		sa, err := c.SiteArenaComparison(a)
+		if err != nil {
+			return err
+		}
+		add("ta8", a.Model.Name,
+			fmt.Sprintf("%.1f", sa.SharedAllocPct),
+			fmt.Sprintf("%.1f", sa.SitedAllocPct),
+			fmt.Sprintf("%d", sa.SharedHeapKB),
+			fmt.Sprintf("%d", sa.SitedHeapKB),
+			fmt.Sprintf("%d", sa.PinnedPools))
+		return nil
+	}},
+}

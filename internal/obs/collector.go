@@ -210,6 +210,7 @@ func (c *Collector) Snapshot() *Snapshot {
 		Counters:   c.reg.CounterValues(),
 		Gauges:     c.reg.GaugeValues(),
 		Histograms: c.reg.HistogramValues(),
+		Timings:    c.reg.TimingValues(),
 		Phases:     phases,
 		Sites:      sites,
 	}
@@ -272,6 +273,10 @@ type Snapshot struct {
 	Counters   map[string]int64             `json:"counters,omitempty"`
 	Gauges     map[string]GaugeSnapshot     `json:"gauges,omitempty"`
 	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	// Timings are wall-clock duration aggregates (engine cell timings);
+	// unlike every other family they are machine-dependent, so regression
+	// gates should not threshold them.
+	Timings map[string]TimingSnapshot `json:"timings,omitempty"`
 
 	Timeline         []Sample `json:"timeline,omitempty"`
 	TimelineInterval int64    `json:"timeline_interval,omitempty"`

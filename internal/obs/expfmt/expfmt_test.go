@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/obs"
@@ -28,6 +29,8 @@ func buildSnapshot() *obs.Snapshot {
 	c.SetClock(250)
 	c.Emit(obs.EvArenaReuse, 3)
 	c.Emit(obs.EvHeapGrow, 4096)
+	c.ObserveTiming("engine_cell", 1500*time.Microsecond)
+	c.ObserveTiming("engine_cell", 500*time.Microsecond)
 	s := c.Snapshot()
 	s.Program = "gawk"
 	s.Allocator = "arena"
@@ -55,6 +58,12 @@ func TestWriteShape(t *testing.T) {
 		// Overflowed values land in +Inf only: 2 observed, 1 under le=2.
 		`lp_arena_scan_len_bucket{allocator="arena",le="2",program="gawk"} 1`,
 		`lp_arena_scan_len_bucket{allocator="arena",le="+Inf",program="gawk"} 2`,
+		// Wall-clock timings render as a count/sum/max trio.
+		`# TYPE lp_engine_cell_count counter`,
+		`lp_engine_cell_count{allocator="arena",program="gawk"} 2`,
+		`lp_engine_cell_sum_us{allocator="arena",program="gawk"} 2000`,
+		`# TYPE lp_engine_cell_max_us gauge`,
+		`lp_engine_cell_max_us{allocator="arena",program="gawk"} 1500`,
 	} {
 		if !strings.Contains(text, want+"\n") {
 			t.Errorf("exposition missing line %q\n--- got ---\n%s", want, text)

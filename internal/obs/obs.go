@@ -76,6 +76,7 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	timings  map[string]*Timing
 }
 
 // NewRegistry returns an empty registry.
@@ -84,6 +85,7 @@ func NewRegistry() *Registry {
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
+		timings:  make(map[string]*Timing),
 	}
 }
 
@@ -170,11 +172,12 @@ func (r *Registry) HistogramValues() map[string]HistogramSnapshot {
 	return out
 }
 
-// Names returns all metric names (counters, gauges, histograms), sorted.
+// Names returns all metric names (counters, gauges, histograms, timings),
+// sorted.
 func (r *Registry) Names() []string {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	names := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.hists))
+	names := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.hists)+len(r.timings))
 	for n := range r.counters {
 		names = append(names, n)
 	}
@@ -182,6 +185,9 @@ func (r *Registry) Names() []string {
 		names = append(names, n)
 	}
 	for n := range r.hists {
+		names = append(names, n)
+	}
+	for n := range r.timings {
 		names = append(names, n)
 	}
 	sort.Strings(names)

@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Timing accumulates wall-clock durations — the one obs family measured
+// in wall time rather than the bytes-allocated clock, so its values are
+// machine-dependent and deliberately excluded from determinism-sensitive
+// comparisons (lpdiff gates should stick to the byte-clock families).
+// core's experiment engine records one observation per completed cell, so
+// scraping a collector mid-run shows schedule progress live. Durations
+// are stored as integer microseconds. The zero value is ready to use;
+// all methods are safe for concurrent use.
+type Timing struct {
+	count atomic.Int64
+	sumUS atomic.Int64
+	maxUS atomic.Int64
+}
+
+// Observe records one duration (negative durations clamp to zero).
+// Nil-safe: a nil Timing — e.g. from a nil Collector's Timing — no-ops,
+// so timing stays zero-cost to thread through optional observability.
+func (t *Timing) Observe(d time.Duration) {
+	if t == nil {
+		return
+	}
+	us := d.Microseconds()
+	if us < 0 {
+		us = 0
+	}
+	t.count.Add(1)
+	t.sumUS.Add(us)
+	for {
+		m := t.maxUS.Load()
+		if us <= m || t.maxUS.CompareAndSwap(m, us) {
+			return
+		}
+	}
+}
+
+// Count returns how many durations were observed.
+func (t *Timing) Count() int64 { return t.count.Load() }
+
+// SumMicros returns the total observed microseconds.
+func (t *Timing) SumMicros() int64 { return t.sumUS.Load() }
+
+// MaxMicros returns the largest single observation in microseconds.
+func (t *Timing) MaxMicros() int64 { return t.maxUS.Load() }
+
+// TimingSnapshot is the exported form of a Timing.
+type TimingSnapshot struct {
+	Count     int64 `json:"count"`
+	SumMicros int64 `json:"sum_us"`
+	MaxMicros int64 `json:"max_us"`
+}
+
+// MeanMicros returns the mean observation, zero when empty.
+func (ts TimingSnapshot) MeanMicros() float64 {
+	if ts.Count == 0 {
+		return 0
+	}
+	return float64(ts.SumMicros) / float64(ts.Count)
+}
+
+// Timing returns the named wall-clock timing, creating it on first use.
+func (r *Registry) Timing(name string) *Timing {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t, ok := r.timings[name]
+	if !ok {
+		t = &Timing{}
+		r.timings[name] = t
+	}
+	return t
+}
+
+// TimingValues returns a snapshot of all timings; nil when none exist,
+// so snapshots without timings JSON-round-trip exactly (omitempty drops
+// the field and decoding leaves the map nil).
+func (r *Registry) TimingValues() map[string]TimingSnapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.timings) == 0 {
+		return nil
+	}
+	out := make(map[string]TimingSnapshot, len(r.timings))
+	for name, t := range r.timings {
+		out[name] = TimingSnapshot{Count: t.Count(), SumMicros: t.SumMicros(), MaxMicros: t.MaxMicros()}
+	}
+	return out
+}
+
+// Timing resolves a named wall-clock timing. Nil-safe: a nil collector
+// returns a nil *Timing, whose Observe is itself a no-op.
+func (c *Collector) Timing(name string) *Timing {
+	if c == nil {
+		return nil
+	}
+	return c.reg.Timing(name)
+}
+
+// ObserveTiming records a duration under name; nil-safe on the collector,
+// so call sites need no guard.
+func (c *Collector) ObserveTiming(name string, d time.Duration) {
+	if c == nil {
+		return
+	}
+	c.reg.Timing(name).Observe(d)
+}

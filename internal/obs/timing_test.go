@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTimingObserve(t *testing.T) {
+	var tm Timing
+	tm.Observe(1500 * time.Microsecond)
+	tm.Observe(500 * time.Microsecond)
+	tm.Observe(-time.Second) // clamps to zero, still counted
+	if got := tm.Count(); got != 3 {
+		t.Fatalf("Count = %d", got)
+	}
+	if got := tm.SumMicros(); got != 2000 {
+		t.Fatalf("SumMicros = %d", got)
+	}
+	if got := tm.MaxMicros(); got != 1500 {
+		t.Fatalf("MaxMicros = %d", got)
+	}
+}
+
+func TestTimingSnapshotMean(t *testing.T) {
+	ts := TimingSnapshot{Count: 4, SumMicros: 1000, MaxMicros: 700}
+	if got := ts.MeanMicros(); got != 250 {
+		t.Fatalf("MeanMicros = %v", got)
+	}
+	if got := (TimingSnapshot{}).MeanMicros(); got != 0 {
+		t.Fatalf("empty MeanMicros = %v", got)
+	}
+}
+
+func TestTimingConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	tm := reg.Timing("cell")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				tm.Observe(10 * time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	vals := reg.TimingValues()
+	if vals["cell"].Count != 800 || vals["cell"].SumMicros != 8000 {
+		t.Fatalf("snapshot = %+v", vals["cell"])
+	}
+	if vals["cell"].MaxMicros != 10 {
+		t.Fatalf("max = %d", vals["cell"].MaxMicros)
+	}
+	if reg.Timing("cell") != tm {
+		t.Fatal("Timing not memoized per name")
+	}
+}
+
+func TestCollectorTimingNilSafe(t *testing.T) {
+	var c *Collector
+	if c.Timing("x") != nil {
+		t.Fatal("nil collector should hand out nil timing")
+	}
+	c.ObserveTiming("x", time.Millisecond) // must not panic
+	var tm *Timing
+	tm.Observe(time.Millisecond) // nil timing no-ops too
+}
+
+func TestCollectorTimingSnapshotAndFlatten(t *testing.T) {
+	c := NewCollector(Options{Label: "prog/alloc"})
+	c.ObserveTiming("engine_build", 2*time.Millisecond)
+	c.ObserveTiming("engine_build", 4*time.Millisecond)
+	s := c.Snapshot()
+	ts, ok := s.Timings["engine_build"]
+	if !ok {
+		t.Fatalf("missing timing in snapshot: %+v", s.Timings)
+	}
+	if ts.Count != 2 || ts.SumMicros != 6000 || ts.MaxMicros != 4000 {
+		t.Fatalf("timing snapshot = %+v", ts)
+	}
+	flat := s.Flatten()
+	for k, want := range map[string]float64{
+		"engine_build.count":   2,
+		"engine_build.sum_us":  6000,
+		"engine_build.mean_us": 3000,
+		"engine_build.max_us":  4000,
+	} {
+		if flat[k] != want {
+			t.Errorf("Flatten[%q] = %v, want %v", k, flat[k], want)
+		}
+	}
+}
+
+func TestRegistryNamesIncludeTimings(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("a")
+	reg.Timing("z_timing")
+	names := reg.Names()
+	found := false
+	for _, n := range names {
+		if n == "z_timing" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("Names() = %v, missing timing", names)
+	}
+	if !strings.Contains(strings.Join(names, ","), "a") {
+		t.Fatalf("Names() = %v, missing counter", names)
+	}
+}

@@ -61,7 +61,10 @@ func isNumeric(s string) bool {
 	return true
 }
 
-// WriteTo renders the table.
+// WriteTo renders the table to w line by line, so a writer error from any
+// row — a closed pipe, a full disk — is reported from the row that hit it
+// (with the byte count up to that point) instead of being swallowed by a
+// buffered render.
 func (t *Table) WriteTo(w io.Writer) (int64, error) {
 	widths := make([]int, len(t.headers))
 	for i, h := range t.headers {
@@ -74,11 +77,18 @@ func (t *Table) WriteTo(w io.Writer) (int64, error) {
 			}
 		}
 	}
-	var b strings.Builder
-	if t.title != "" {
-		fmt.Fprintf(&b, "%s\n", t.title)
+	var written int64
+	emit := func(line string) error {
+		n, err := io.WriteString(w, line)
+		written += int64(n)
+		if err == nil && n < len(line) {
+			err = io.ErrShortWrite
+		}
+		return err
 	}
-	writeRow := func(cells []string) {
+	var b strings.Builder
+	renderRow := func(cells []string) string {
+		b.Reset()
 		for i, w := range widths {
 			c := ""
 			if i < len(cells) {
@@ -94,20 +104,32 @@ func (t *Table) WriteTo(w io.Writer) (int64, error) {
 			}
 		}
 		b.WriteByte('\n')
+		return b.String()
 	}
-	writeRow(t.headers)
+	if t.title != "" {
+		if err := emit(t.title + "\n"); err != nil {
+			return written, err
+		}
+	}
+	if err := emit(renderRow(t.headers)); err != nil {
+		return written, err
+	}
 	total := 0
 	for _, w := range widths {
 		total += w + 2
 	}
-	b.WriteString(strings.Repeat("-", total-2))
-	b.WriteByte('\n')
-	for _, row := range t.rows {
-		writeRow(row)
+	if err := emit(strings.Repeat("-", total-2) + "\n"); err != nil {
+		return written, err
 	}
-	b.WriteByte('\n')
-	n, err := io.WriteString(w, b.String())
-	return int64(n), err
+	for _, row := range t.rows {
+		if err := emit(renderRow(row)); err != nil {
+			return written, err
+		}
+	}
+	if err := emit("\n"); err != nil {
+		return written, err
+	}
+	return written, nil
 }
 
 // String renders the table to a string.
