@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 
 	"repro/internal/cliutil"
 	"repro/internal/core"
@@ -34,9 +35,11 @@ func main() {
 	seed := flag.Uint64("seed", 1993, "base RNG seed for trace generation")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent simulation workers")
 	out := flag.String("o", "-", "output bench JSON file, - for stdout")
+	only := flag.String("only", "", "keep only metrics whose name starts with this prefix (e.g. pred.)")
 	cliutil.Parse(name,
 		"run the simulation matrix and emit a deterministic bench JSON file",
 		"lpbench -label seed -o BENCH_seed.json",
+		"lpbench -only pred. -label accuracy-seed -o ACCURACY_seed.json",
 		"lpbench -o new.json && lpdiff -threshold sim_bytes_per_op+10% BENCH_seed.json new.json")
 
 	jobs, err := core.ParseMatrix(*matrixSpec)
@@ -57,7 +60,17 @@ func main() {
 		if res.Err != nil {
 			cliutil.Fatal(name, fmt.Errorf("job %s: %w", res.Job, res.Err))
 		}
-		file.Runs = append(file.Runs, core.NewBenchRun(res.Job, res.Res))
+		run := core.NewBenchRun(res.Job, res.Res)
+		if *only != "" {
+			// A filtered file (e.g. just the pred. accuracy families) keeps
+			// exact-match gates focused and the committed baseline small.
+			for k := range run.Metrics {
+				if !strings.HasPrefix(k, *only) {
+					delete(run.Metrics, k)
+				}
+			}
+		}
+		file.Runs = append(file.Runs, run)
 		fmt.Fprintf(os.Stderr, "%s: %-28s ops=%-9d bytes=%-11d heap=%d\n",
 			name, res.Job, res.Res.Counts.Allocs+res.Res.Counts.Frees,
 			res.Res.TotalBytes, res.Res.MaxHeap)

@@ -67,8 +67,10 @@ func TestHealthz(t *testing.T) {
 		t.Fatalf("healthz status = %d", resp.StatusCode)
 	}
 	var body struct {
-		Status string         `json:"status"`
-		Jobs   map[string]int `json:"jobs"`
+		Status  string         `json:"status"`
+		Jobs    map[string]int `json:"jobs"`
+		Queue   map[string]int `json:"queue"`
+		Workers map[string]int `json:"workers"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
 		t.Fatal(err)
@@ -78,6 +80,13 @@ func TestHealthz(t *testing.T) {
 	}
 	if body.Jobs["done"] != 0 || body.Jobs["queued"] != 0 {
 		t.Errorf("fresh server has jobs: %v", body.Jobs)
+	}
+	// Saturation signals: queue depth/cap and busy/total workers.
+	if body.Queue["depth"] != 0 || body.Queue["cap"] != queueCap {
+		t.Errorf("queue = %v, want depth 0 cap %d", body.Queue, queueCap)
+	}
+	if body.Workers["total"] != 2 || body.Workers["busy"] != 0 {
+		t.Errorf("workers = %v, want total 2 busy 0", body.Workers)
 	}
 }
 
@@ -333,6 +342,48 @@ func TestEventsStream(t *testing.T) {
 	case <-finished:
 	case <-drainDeadline:
 		t.Fatal("SSE stream did not close on shutdown")
+	}
+}
+
+// TestEventsHeartbeat shortens the heartbeat interval and checks an idle
+// stream still carries periodic comments, so proxies see traffic.
+func TestEventsHeartbeat(t *testing.T) {
+	old := heartbeatInterval
+	heartbeatInterval = 20 * time.Millisecond
+	defer func() { heartbeatInterval = old }()
+
+	srv, ts := testServer(t)
+	resp, err := http.Get(ts.URL + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	sc := bufio.NewScanner(resp.Body)
+	beats := 0
+	deadline := time.After(5 * time.Second)
+	got := make(chan string)
+	go func() {
+		for sc.Scan() {
+			got <- sc.Text()
+		}
+		close(got)
+	}()
+	for beats < 2 {
+		select {
+		case line, ok := <-got:
+			if !ok {
+				t.Fatalf("stream closed after %d heartbeats (err %v)", beats, sc.Err())
+			}
+			if line == ": heartbeat" {
+				beats++
+			}
+		case <-deadline:
+			t.Fatalf("saw %d heartbeats in 5s, want 2", beats)
+		}
+	}
+	srv.shutdown()
+	for range got {
 	}
 }
 

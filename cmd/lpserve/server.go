@@ -3,11 +3,14 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/pprof"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/cliutil"
 	"repro/internal/core"
@@ -102,6 +105,7 @@ func (j *job) finish(snap *obs.Snapshot, err error) {
 type server struct {
 	runner  *core.MatrixRunner
 	workers int
+	busy    atomic.Int64 // workers currently inside a replay
 
 	mu      sync.Mutex
 	jobs    []*job
@@ -185,7 +189,9 @@ func (s *server) worker() {
 		})
 		j.setRunning(col)
 		s.broker.publishJob(j)
+		s.busy.Add(1)
 		res, err := s.runner.Run(j.Spec, col)
+		s.busy.Add(-1)
 		j.finish(res.Obs, err)
 		s.broker.publishJob(j)
 	}
@@ -255,6 +261,9 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		counts[j.status]++
 		j.mu.Unlock()
 	}
+	// Queue depth and busy workers let load tests see saturation: depth
+	// near queue_cap means submissions will start bouncing with 503s, and
+	// busy == total means no spare replay capacity.
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":  "ok",
 		"version": cliutil.Version,
@@ -263,6 +272,14 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			"running": counts[statusRunning],
 			"done":    counts[statusDone],
 			"failed":  counts[statusFailed],
+		},
+		"queue": map[string]int{
+			"depth": len(s.queue),
+			"cap":   queueCap,
+		},
+		"workers": map[string]int{
+			"total": s.workers,
+			"busy":  int(s.busy.Load()),
 		},
 	})
 }
@@ -348,9 +365,14 @@ func (s *server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	obs.WriteJSON(w, snap)
 }
 
+// heartbeatInterval is how often an idle /events stream emits an SSE
+// comment so proxies do not reap the connection and clients can tell a
+// quiet stream from a dead one. A variable so tests can shorten it.
+var heartbeatInterval = 15 * time.Second
+
 // handleEvents streams job transitions, timeline samples, and structured
 // obs events as server-sent events until the client goes away or the
-// server drains.
+// server drains. Idle streams carry periodic heartbeat comments.
 func (s *server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	fl, ok := w.(http.Flusher)
 	if !ok {
@@ -372,6 +394,8 @@ func (s *server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			fl.Flush()
 		}
 	}()
+	heartbeat := time.NewTicker(heartbeatInterval)
+	defer heartbeat.Stop()
 	for {
 		select {
 		case msg, ok := <-sub.ch:
@@ -379,6 +403,11 @@ func (s *server) handleEvents(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 			if _, err := w.Write(msg); err != nil {
+				return
+			}
+			fl.Flush()
+		case <-heartbeat.C:
+			if _, err := io.WriteString(w, ": heartbeat\n\n"); err != nil {
 				return
 			}
 			fl.Flush()

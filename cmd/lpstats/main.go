@@ -1,8 +1,10 @@
 // Command lpstats renders the metrics snapshot exported by lpsim -obs as
 // a text report: run header, counters and gauges, histograms, a
 // fragmentation-over-time table built from the live/heap timeline, the
-// structured-event summary, per-phase counter deltas, and the top
-// allocation sites by bytes.
+// structured-event summary, per-phase counter deltas, the top allocation
+// sites by bytes, and — for observed replays, which always carry
+// prediction-quality tracking — the confusion matrix, calibration drift,
+// and top misprediction sites.
 //
 // Usage:
 //
@@ -58,6 +60,7 @@ func main() {
 	printEvents(snap)
 	printPhases(snap)
 	printSites(snap, *top)
+	printAccuracy(snap, *top, *rows)
 }
 
 func printHeader(s *obs.Snapshot) {
@@ -226,6 +229,98 @@ func printPhases(s *obs.Snapshot) {
 		tb.RowStrings(cells...)
 	}
 	tb.WriteTo(os.Stdout)
+}
+
+// printAccuracy renders the prediction-quality section: the confusion
+// matrix by objects and bytes with derived accuracy/precision/recall, the
+// false-positive byte-lifetime cost, calibration drift across the
+// timeline's rolling-accuracy channel, and the top misprediction sites.
+// Snapshots from replays without prediction tracking skip the section.
+func printAccuracy(s *obs.Snapshot, top, rows int) {
+	if _, ok := s.Counters["pred.tp_objects"]; !ok {
+		return
+	}
+	tp, fp := s.Counters["pred.tp_objects"], s.Counters["pred.fp_objects"]
+	fn, tn := s.Counters["pred.fn_objects"], s.Counters["pred.tn_objects"]
+	tpB, fpB := s.Counters["pred.tp_bytes"], s.Counters["pred.fp_bytes"]
+	fnB, tnB := s.Counters["pred.fn_bytes"], s.Counters["pred.tn_bytes"]
+
+	tb := table.New(
+		fmt.Sprintf("prediction accuracy (short threshold %d bytes)",
+			s.Gauges["pred.threshold_bytes"].Value),
+		"Outcome", "Objects", "Bytes")
+	tb.RowStrings("true positive (short, died short)", fmt.Sprintf("%d", tp), fmt.Sprintf("%d", tpB))
+	tb.RowStrings("false positive (short, lived long)", fmt.Sprintf("%d", fp), fmt.Sprintf("%d", fpB))
+	tb.RowStrings("false negative (long, died short)", fmt.Sprintf("%d", fn), fmt.Sprintf("%d", fnB))
+	tb.RowStrings("true negative (long, lived long)", fmt.Sprintf("%d", tn), fmt.Sprintf("%d", tnB))
+	tb.RowStrings("accuracy", ratioPct(tp+tn, tp+fp+fn+tn), ratioPct(tpB+tnB, tpB+fpB+fnB+tnB))
+	tb.RowStrings("precision", ratioPct(tp, tp+fp), ratioPct(tpB, tpB+fpB))
+	tb.RowStrings("recall", ratioPct(tp, tp+fn), ratioPct(tpB, tpB+fnB))
+	tb.WriteTo(os.Stdout)
+	if cost := s.Counters["pred.fp_cost_bytelife"]; cost > 0 {
+		fmt.Printf("false-positive cost: %d byte-lifetime units held past the threshold\n\n", cost)
+	}
+
+	printCalibration(s, rows)
+
+	if len(s.PredSites) > 0 && top > 0 {
+		n := len(s.PredSites)
+		if n > top {
+			n = top
+		}
+		st := table.New(fmt.Sprintf("top %d misprediction sites", n),
+			"Site", "FP objs", "FP bytes", "FP cost", "FN objs", "FN bytes")
+		for _, ps := range s.PredSites[:n] {
+			st.RowStrings(ps.Site,
+				fmt.Sprintf("%d", ps.FPObjects),
+				fmt.Sprintf("%d", ps.FPBytes),
+				fmt.Sprintf("%d", ps.FPCost),
+				fmt.Sprintf("%d", ps.FNObjects),
+				fmt.Sprintf("%d", ps.FNBytes))
+		}
+		st.WriteTo(os.Stdout)
+	}
+}
+
+// printCalibration renders accuracy drift over the run: windowed (between
+// consecutive shown rows) and cumulative accuracy from the timeline's
+// rolling prediction counts.
+func printCalibration(s *obs.Snapshot, rows int) {
+	if rows <= 0 || len(s.Timeline) == 0 {
+		return
+	}
+	last := s.Timeline[len(s.Timeline)-1]
+	if last.PredDecidedObjects == 0 {
+		return
+	}
+	tb := table.New("calibration drift (rolling accuracy)",
+		"Clock", "Decided", "Cum acc%", "Window acc%")
+	stride := (len(s.Timeline) + rows - 1) / rows
+	var prevDecided, prevCorrect int64
+	for i := 0; i < len(s.Timeline); i += stride {
+		if i+stride >= len(s.Timeline) {
+			i = len(s.Timeline) - 1
+		}
+		p := s.Timeline[i]
+		tb.RowStrings(
+			fmt.Sprintf("%d", p.Clock),
+			fmt.Sprintf("%d", p.PredDecidedObjects),
+			ratioPct(p.PredCorrectObjects, p.PredDecidedObjects),
+			ratioPct(p.PredCorrectObjects-prevCorrect, p.PredDecidedObjects-prevDecided))
+		prevDecided, prevCorrect = p.PredDecidedObjects, p.PredCorrectObjects
+		if i == len(s.Timeline)-1 {
+			break
+		}
+	}
+	tb.WriteTo(os.Stdout)
+}
+
+// ratioPct formats 100*num/den, or "-" when the denominator is zero.
+func ratioPct(num, den int64) string {
+	if den == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f%%", 100*float64(num)/float64(den))
 }
 
 func printSites(s *obs.Snapshot, top int) {

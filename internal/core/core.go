@@ -183,11 +183,17 @@ type occupancyReporter interface {
 // maxObsSites bounds the per-site ranking attached to a snapshot.
 const maxObsSites = 50
 
+// predLifetimeBuckets sizes the log2 actual-lifetime histograms: lifetimes
+// are measured in bytes allocated, so 40 buckets cover runs up to a
+// terabyte of allocation before the overflow bucket engages.
+const predLifetimeBuckets = 40
+
 // obsTracker carries the replay-side observability state: the
-// bytes-allocated clock, the live set (for live-bytes timelines), phase
-// boundaries, and the per-site allocation ranking. It exists only when a
-// collector is attached, so the nil-collector replay path pays a single
-// pointer compare per event.
+// bytes-allocated clock, the live set (for live-bytes timelines and for
+// scoring each alloc-time prediction against the actual lifetime observed
+// at free time), phase boundaries, and the per-site rankings. It exists
+// only when a collector is attached, so the nil-collector replay path pays
+// a single pointer compare per event.
 type obsTracker struct {
 	col   *obs.Collector
 	alloc heapsim.Allocator
@@ -196,12 +202,37 @@ type obsTracker struct {
 	clock       int64
 	liveBytes   int64
 	liveObjects int64
-	sizes       map[trace.ObjectID]int64
+	live        map[trace.ObjectID]liveObj
 
 	siteAllocs map[callchain.ChainID]*siteAgg
+	predSites  map[callchain.ChainID]*predSiteAgg
+
+	// Confusion-matrix counter handles, resolved once so every cell —
+	// including zero ones — appears in snapshots and bench baselines.
+	// "Positive" means predicted short-lived.
+	thr                    int64 // short-lifetime threshold (bytes)
+	tpObj, fpObj           *obs.Counter
+	fnObj, tnObj           *obs.Counter
+	tpBytes, fpBytes       *obs.Counter
+	fnBytes, tnBytes       *obs.Counter
+	fpCost                 *obs.Counter
+	lifeShort, lifeLong    *obs.Histogram
+	decidedObjs, rightObjs int64 // rolling accuracy for timeline samples
+	decidedBytes           int64
+	rightBytes             int64
 
 	nEvents int // 0 when unknown (streaming)
 	seen    int
+}
+
+// liveObj is what the tracker remembers about a live object between its
+// alloc and its free: enough to compute the actual lifetime and attribute
+// the prediction back to its site.
+type liveObj struct {
+	size  int64
+	born  int64 // clock before the object's own allocation (trace.Object.Birth)
+	chain callchain.ChainID
+	short bool // predicted short-lived at alloc time
 }
 
 type siteAgg struct {
@@ -209,19 +240,42 @@ type siteAgg struct {
 	bytes  int64
 }
 
+// predSiteAgg accumulates one site's mispredictions: false positives
+// (predicted short, lived long) with their byte-lifetime cost, and false
+// negatives (predicted long, died short).
+type predSiteAgg struct {
+	fpObjects, fpBytes, fpCost int64
+	fnObjects, fnBytes         int64
+}
+
 // newObsTracker attaches the collector to the allocator (when it is
-// Observable) and prepares the replay-side state.
-func newObsTracker(col *obs.Collector, alloc heapsim.Allocator, nEvents int) *obsTracker {
+// Observable) and prepares the replay-side state. thr is the short-lifetime
+// threshold the replay's predictions are scored against.
+func newObsTracker(col *obs.Collector, alloc heapsim.Allocator, nEvents int, thr int64) *obsTracker {
 	if o, ok := alloc.(heapsim.Observable); ok {
 		o.Observe(col)
 	}
 	t := &obsTracker{
 		col:        col,
 		alloc:      alloc,
-		sizes:      make(map[trace.ObjectID]int64),
+		live:       make(map[trace.ObjectID]liveObj),
 		siteAllocs: make(map[callchain.ChainID]*siteAgg),
+		predSites:  make(map[callchain.ChainID]*predSiteAgg),
 		nEvents:    nEvents,
+		thr:        thr,
+		tpObj:      col.Counter("pred.tp_objects"),
+		fpObj:      col.Counter("pred.fp_objects"),
+		fnObj:      col.Counter("pred.fn_objects"),
+		tnObj:      col.Counter("pred.tn_objects"),
+		tpBytes:    col.Counter("pred.tp_bytes"),
+		fpBytes:    col.Counter("pred.fp_bytes"),
+		fnBytes:    col.Counter("pred.fn_bytes"),
+		tnBytes:    col.Counter("pred.tn_bytes"),
+		fpCost:     col.Counter("pred.fp_cost_bytelife"),
+		lifeShort:  col.Log2Histogram("pred.lifetime_pred_short", predLifetimeBuckets),
+		lifeLong:   col.Log2Histogram("pred.lifetime_pred_long", predLifetimeBuckets),
 	}
+	col.Gauge("pred.threshold_bytes").Set(thr)
 	if occ, ok := alloc.(occupancyReporter); ok {
 		t.occ = occ
 	}
@@ -229,13 +283,16 @@ func newObsTracker(col *obs.Collector, alloc heapsim.Allocator, nEvents int) *ob
 }
 
 // step observes one replayed event (after the allocator accepted it).
-func (t *obsTracker) step(ev trace.Event) {
+// short is the prediction the replay loop made for an alloc event; it is
+// ignored for frees.
+func (t *obsTracker) step(ev trace.Event, short bool) {
 	switch ev.Kind {
 	case trace.KindAlloc:
+		born := t.clock
 		t.clock += ev.Size
 		t.liveBytes += ev.Size
 		t.liveObjects++
-		t.sizes[ev.Obj] = ev.Size
+		t.live[ev.Obj] = liveObj{size: ev.Size, born: born, chain: ev.Chain, short: short}
 		ag := t.siteAllocs[ev.Chain]
 		if ag == nil {
 			ag = &siteAgg{}
@@ -248,10 +305,11 @@ func (t *obsTracker) step(ev trace.Event) {
 			t.sample()
 		}
 	case trace.KindFree:
-		if sz, ok := t.sizes[ev.Obj]; ok {
-			t.liveBytes -= sz
+		if lo, ok := t.live[ev.Obj]; ok {
+			t.liveBytes -= lo.size
 			t.liveObjects--
-			delete(t.sizes, ev.Obj)
+			delete(t.live, ev.Obj)
+			t.score(lo, t.clock-lo.born)
 		}
 	}
 	t.seen++
@@ -267,13 +325,70 @@ func (t *obsTracker) step(ev trace.Event) {
 	}
 }
 
+// score resolves one object's alloc-time prediction against its actual
+// lifetime (bytes allocated between birth and death, matching
+// trace.Annotate), updating the confusion matrix, the lifetime histograms
+// split by predicted class, the per-site misprediction attribution, and
+// the rolling-accuracy channel.
+func (t *obsTracker) score(lo liveObj, lifetime int64) {
+	actualShort := lifetime < t.thr
+	correct := lo.short == actualShort
+	switch {
+	case lo.short && actualShort:
+		t.tpObj.Add(1)
+		t.tpBytes.Add(lo.size)
+	case lo.short && !actualShort:
+		t.fpObj.Add(1)
+		t.fpBytes.Add(lo.size)
+		cost := lo.size * (lifetime - t.thr)
+		t.fpCost.Add(cost)
+		ps := t.predSite(lo.chain)
+		ps.fpObjects++
+		ps.fpBytes += lo.size
+		ps.fpCost += cost
+	case !lo.short && actualShort:
+		t.fnObj.Add(1)
+		t.fnBytes.Add(lo.size)
+		ps := t.predSite(lo.chain)
+		ps.fnObjects++
+		ps.fnBytes += lo.size
+	default:
+		t.tnObj.Add(1)
+		t.tnBytes.Add(lo.size)
+	}
+	if lo.short {
+		t.lifeShort.Observe(lifetime)
+	} else {
+		t.lifeLong.Observe(lifetime)
+	}
+	t.decidedObjs++
+	t.decidedBytes += lo.size
+	if correct {
+		t.rightObjs++
+		t.rightBytes += lo.size
+	}
+}
+
+func (t *obsTracker) predSite(chain callchain.ChainID) *predSiteAgg {
+	ps := t.predSites[chain]
+	if ps == nil {
+		ps = &predSiteAgg{}
+		t.predSites[chain] = ps
+	}
+	return ps
+}
+
 // sample records one timeline point from the current replay state.
 func (t *obsTracker) sample() {
 	s := obs.Sample{
-		Clock:       t.clock,
-		LiveBytes:   t.liveBytes,
-		LiveObjects: t.liveObjects,
-		HeapBytes:   t.alloc.HeapSize(),
+		Clock:              t.clock,
+		LiveBytes:          t.liveBytes,
+		LiveObjects:        t.liveObjects,
+		HeapBytes:          t.alloc.HeapSize(),
+		PredDecidedObjects: t.decidedObjs,
+		PredCorrectObjects: t.rightObjs,
+		PredDecidedBytes:   t.decidedBytes,
+		PredCorrectBytes:   t.rightBytes,
 	}
 	if t.occ != nil {
 		s.ArenaOccupancy = t.occ.ArenaOccupancy()
@@ -281,9 +396,18 @@ func (t *obsTracker) sample() {
 	t.col.RecordSample(s)
 }
 
-// finish takes the end-of-run sample and phase mark, ranks sites by
-// bytes, and freezes the snapshot. The chain table renders site labels.
+// finish scores the never-freed objects (their lifetime extends to the end
+// of the run, matching trace.Annotate), takes the end-of-run sample and
+// phase mark, ranks the site tables, and freezes the snapshot. The chain
+// table renders site labels.
 func (t *obsTracker) finish(program string, tb *callchain.Table) *obs.Snapshot {
+	// Draining the live map in arbitrary order is fine: every scoring
+	// update is a commutative accumulation (counter adds, histogram
+	// observations, per-site sums), so the result is order-independent.
+	for _, lo := range t.live {
+		t.score(lo, t.clock-lo.born)
+	}
+	t.live = make(map[trace.ObjectID]liveObj)
 	t.sample()
 	t.col.MarkPhase("end")
 
@@ -307,11 +431,52 @@ func (t *obsTracker) finish(program string, tb *callchain.Table) *obs.Snapshot {
 		sites = append(sites, obs.SiteBytes{Site: tb.String(id), Allocs: ag.allocs, Bytes: ag.bytes})
 	}
 	t.col.SetSites(sites)
+	t.col.SetPredSites(t.rankPredSites(tb))
 
 	snap := t.col.Snapshot()
 	snap.Program = program
 	snap.Allocator = allocatorName(t.alloc)
 	return snap
+}
+
+// rankPredSites orders misprediction sites by false-positive cost (the
+// fragmentation failure mode), then false-positive bytes, then
+// false-negative bytes, chain id as the deterministic tie-break, capped at
+// maxObsSites like the allocation ranking.
+func (t *obsTracker) rankPredSites(tb *callchain.Table) []obs.PredSite {
+	chains := make([]callchain.ChainID, 0, len(t.predSites))
+	for id := range t.predSites {
+		chains = append(chains, id)
+	}
+	sort.Slice(chains, func(i, j int) bool {
+		a, b := t.predSites[chains[i]], t.predSites[chains[j]]
+		if a.fpCost != b.fpCost {
+			return a.fpCost > b.fpCost
+		}
+		if a.fpBytes != b.fpBytes {
+			return a.fpBytes > b.fpBytes
+		}
+		if a.fnBytes != b.fnBytes {
+			return a.fnBytes > b.fnBytes
+		}
+		return chains[i] < chains[j]
+	})
+	if len(chains) > maxObsSites {
+		chains = chains[:maxObsSites]
+	}
+	out := make([]obs.PredSite, 0, len(chains))
+	for _, id := range chains {
+		ps := t.predSites[id]
+		out = append(out, obs.PredSite{
+			Site:      tb.String(id),
+			FPObjects: ps.fpObjects,
+			FPBytes:   ps.fpBytes,
+			FPCost:    ps.fpCost,
+			FNObjects: ps.fnObjects,
+			FNBytes:   ps.fnBytes,
+		})
+	}
+	return out
 }
 
 // RunSim replays a trace through an allocator. When pred is non-nil its
@@ -345,7 +510,11 @@ func RunSimSource(src trace.Source, alloc heapsim.Allocator, pred *profile.Predi
 				n = cnt
 			}
 		}
-		ot = newObsTracker(col, alloc, n)
+		thr := profile.DefaultConfig().ShortThreshold
+		if mapper != nil {
+			thr = mapper.ShortThreshold()
+		}
+		ot = newObsTracker(col, alloc, n, thr)
 	}
 	res := SimResult{}
 	for i := 0; ; i++ {
@@ -356,10 +525,13 @@ func RunSimSource(src trace.Source, alloc heapsim.Allocator, pred *profile.Predi
 		if err != nil {
 			return res, err
 		}
+		short := false
 		switch ev.Kind {
 		case trace.KindAlloc:
-			short := false
 			if mapper != nil {
+				// The loop's own decision is reused for quality tracking;
+				// asking the mapper twice would double its site-usage
+				// accounting.
 				short = mapper.PredictShort(ev.Chain, ev.Size)
 			}
 			if err := alloc.Alloc(ev.Obj, ev.Size, short); err != nil {
@@ -375,7 +547,7 @@ func RunSimSource(src trace.Source, alloc heapsim.Allocator, pred *profile.Predi
 			return res, fmt.Errorf("core: event %d: bad kind %d", i, ev.Kind)
 		}
 		if ot != nil {
-			ot.step(ev)
+			ot.step(ev, short)
 		}
 	}
 	finishSim(&res, alloc)
@@ -761,13 +933,15 @@ func RunSimSited(tr *trace.Trace, alloc *heapsim.SiteArena, pred *profile.Predic
 	mapper := pred.NewMapper(tr.Table)
 	var ot *obsTracker
 	if col := pickCollector(observers); col != nil {
-		ot = newObsTracker(col, alloc, len(tr.Events))
+		ot = newObsTracker(col, alloc, len(tr.Events), mapper.ShortThreshold())
 	}
 	res := SimResult{}
 	for i, ev := range tr.Events {
+		short := false
 		switch ev.Kind {
 		case trace.KindAlloc:
-			key, short := mapper.Site(ev.Chain, ev.Size)
+			var key profile.SiteKey
+			key, short = mapper.Site(ev.Chain, ev.Size)
 			var err error
 			if short {
 				// Fold the site key into a stable, well-mixed 64-bit
@@ -792,7 +966,7 @@ func RunSimSited(tr *trace.Trace, alloc *heapsim.SiteArena, pred *profile.Predic
 			return res, fmt.Errorf("core: event %d: bad kind %d", i, ev.Kind)
 		}
 		if ot != nil {
-			ot.step(ev)
+			ot.step(ev, short)
 		}
 	}
 	finishSim(&res, alloc)

@@ -116,7 +116,12 @@ func TestPipeline(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("lpstats exited %d: %s", code, stderr)
 	}
-	for _, want := range []string{"gawk", "arena", "clock"} {
+	for _, want := range []string{
+		"gawk", "arena", "clock",
+		// The accuracy/calibration report: an observed replay with a
+		// predictor must render the confusion matrix and site attribution.
+		"prediction accuracy", "false positive", "calibration drift",
+	} {
 		if !strings.Contains(stdout, want) {
 			t.Errorf("lpstats report is missing %q", want)
 		}

@@ -49,9 +49,10 @@ type Collector struct {
 	eventHook  func(Event)
 	clock      atomic.Int64
 
-	mu     sync.Mutex
-	phases []PhaseSnapshot
-	sites  []SiteBytes
+	mu        sync.Mutex
+	phases    []PhaseSnapshot
+	sites     []SiteBytes
+	predSites []PredSite
 }
 
 // NewCollector returns a collector with the given options.
@@ -201,6 +202,11 @@ func (c *Collector) Snapshot() *Snapshot {
 	copy(phases, c.phases)
 	sites := make([]SiteBytes, len(c.sites))
 	copy(sites, c.sites)
+	var predSites []PredSite
+	if len(c.predSites) > 0 {
+		predSites = make([]PredSite, len(c.predSites))
+		copy(predSites, c.predSites)
+	}
 	c.mu.Unlock()
 
 	s := &Snapshot{
@@ -213,6 +219,7 @@ func (c *Collector) Snapshot() *Snapshot {
 		Timings:    c.reg.TimingValues(),
 		Phases:     phases,
 		Sites:      sites,
+		PredSites:  predSites,
 	}
 	if c.timeline != nil {
 		s.Timeline = c.timeline.Samples()
@@ -284,4 +291,8 @@ type Snapshot struct {
 	Events EventSummary    `json:"events"`
 	Phases []PhaseSnapshot `json:"phases,omitempty"`
 	Sites  []SiteBytes     `json:"sites,omitempty"`
+	// PredSites ranks allocation sites by misprediction volume (false
+	// positives by byte-lifetime cost, then false negatives); empty when
+	// the replay carried no prediction-quality tracking.
+	PredSites []PredSite `json:"pred_sites,omitempty"`
 }

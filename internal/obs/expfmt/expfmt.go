@@ -13,6 +13,10 @@
 //   - histograms                 → lp_<name> (histogram) with cumulative
 //     le buckets from the obs bucket upper bounds, plus _sum and _count
 //   - exact event totals         → lp_events_total{kind="..."} (counter)
+//   - dropped raw events         → lp_obs_dropped_events (counter)
+//   - per-site mispredictions    → lp_pred_site_fp_bytes,
+//     lp_pred_site_fp_cost_bytelife, lp_pred_site_fn_bytes, each with a
+//     site="..." label per attributed call-chain
 //
 // Rendering is canonical — families sorted by name, label keys sorted,
 // shortest float formatting — so Write → Parse → WriteFamilies reproduces
@@ -167,6 +171,40 @@ func Families(s *obs.Snapshot, extra map[string]string) []Family {
 			Name: "lp_events_total", Type: "counter",
 			Help: "exact structured replay event totals by kind", Metrics: ms,
 		})
+	}
+	// Sink overflow is exposed unconditionally so scrapers can alert on a
+	// truncated raw-event window instead of discovering it by omission.
+	fams = append(fams, Family{
+		Name: "lp_obs_dropped_events", Type: "counter",
+		Help:    "raw events dropped from the collector's bounded event window",
+		Metrics: []Metric{{Labels: labels, Value: float64(s.Events.Dropped)}},
+	})
+	if len(s.PredSites) > 0 {
+		fp := make([]Metric, 0, len(s.PredSites))
+		cost := make([]Metric, 0, len(s.PredSites))
+		fn := make([]Metric, 0, len(s.PredSites))
+		for _, ps := range s.PredSites {
+			l := withLabel(labels, "site", ps.Site)
+			fp = append(fp, Metric{Labels: l, Value: float64(ps.FPBytes)})
+			cost = append(cost, Metric{Labels: l, Value: float64(ps.FPCost)})
+			fn = append(fn, Metric{Labels: l, Value: float64(ps.FNBytes)})
+		}
+		fams = append(fams,
+			Family{
+				Name: "lp_pred_site_fp_bytes", Type: "counter",
+				Help:    "bytes mispredicted short (lived long) by allocation site",
+				Metrics: fp,
+			},
+			Family{
+				Name: "lp_pred_site_fp_cost_bytelife", Type: "counter",
+				Help:    "false-positive byte-lifetime cost (size x lifetime past threshold) by allocation site",
+				Metrics: cost,
+			},
+			Family{
+				Name: "lp_pred_site_fn_bytes", Type: "counter",
+				Help:    "bytes mispredicted long (died short) by allocation site",
+				Metrics: fn,
+			})
 	}
 
 	sort.Slice(fams, func(i, j int) bool { return fams[i].Name < fams[j].Name })

@@ -31,6 +31,11 @@ func buildSnapshot() *obs.Snapshot {
 	c.Emit(obs.EvHeapGrow, 4096)
 	c.ObserveTiming("engine_cell", 1500*time.Microsecond)
 	c.ObserveTiming("engine_cell", 500*time.Microsecond)
+	c.Counter("pred.fp_bytes").Add(64)
+	c.SetPredSites([]obs.PredSite{
+		{Site: "main>parse>alloc", FPObjects: 1, FPBytes: 64, FPCost: 2048},
+		{Site: "main>eval>alloc", FNObjects: 2, FNBytes: 32},
+	})
 	s := c.Snapshot()
 	s.Program = "gawk"
 	s.Allocator = "arena"
@@ -64,6 +69,14 @@ func TestWriteShape(t *testing.T) {
 		`lp_engine_cell_sum_us{allocator="arena",program="gawk"} 2000`,
 		`# TYPE lp_engine_cell_max_us gauge`,
 		`lp_engine_cell_max_us{allocator="arena",program="gawk"} 1500`,
+		// Sink overflow is always exposed, even at zero.
+		`# TYPE lp_obs_dropped_events counter`,
+		`lp_obs_dropped_events{allocator="arena",program="gawk"} 0`,
+		// Per-site misprediction attribution carries a site label.
+		`lp_pred_fp_bytes{allocator="arena",program="gawk"} 64`,
+		`lp_pred_site_fp_bytes{allocator="arena",program="gawk",site="main>parse>alloc"} 64`,
+		`lp_pred_site_fp_cost_bytelife{allocator="arena",program="gawk",site="main>parse>alloc"} 2048`,
+		`lp_pred_site_fn_bytes{allocator="arena",program="gawk",site="main>eval>alloc"} 32`,
 	} {
 		if !strings.Contains(text, want+"\n") {
 			t.Errorf("exposition missing line %q\n--- got ---\n%s", want, text)

@@ -43,6 +43,8 @@ func ReadJSON(r io.Reader) (*Snapshot, error) {
 
 var timelineHeader = []string{
 	"clock", "live_bytes", "live_objects", "heap_bytes", "arena_occupancy",
+	"pred_decided_objects", "pred_correct_objects",
+	"pred_decided_bytes", "pred_correct_bytes",
 }
 
 // WriteTimelineCSV writes the snapshot's timeline as CSV with a header
@@ -64,6 +66,10 @@ func WriteTimelineCSV(w io.Writer, s *Snapshot) error {
 			strconv.FormatInt(sm.LiveObjects, 10),
 			strconv.FormatInt(sm.HeapBytes, 10),
 			strconv.FormatFloat(sm.ArenaOccupancy, 'g', -1, 64),
+			strconv.FormatInt(sm.PredDecidedObjects, 10),
+			strconv.FormatInt(sm.PredCorrectObjects, 10),
+			strconv.FormatInt(sm.PredDecidedBytes, 10),
+			strconv.FormatInt(sm.PredCorrectBytes, 10),
 		}
 		if err := cw.Write(rec); err != nil {
 			return err
@@ -90,17 +96,20 @@ func ReadTimelineCSV(r io.Reader) ([]Sample, error) {
 	for i, rec := range recs[1:] {
 		var sm Sample
 		var err error
-		if sm.Clock, err = strconv.ParseInt(rec[0], 10, 64); err == nil {
-			if sm.LiveBytes, err = strconv.ParseInt(rec[1], 10, 64); err == nil {
-				if sm.LiveObjects, err = strconv.ParseInt(rec[2], 10, 64); err == nil {
-					if sm.HeapBytes, err = strconv.ParseInt(rec[3], 10, 64); err == nil {
-						sm.ArenaOccupancy, err = strconv.ParseFloat(rec[4], 64)
-					}
-				}
-			}
+		ints := []*int64{
+			&sm.Clock, &sm.LiveBytes, &sm.LiveObjects, &sm.HeapBytes, nil,
+			&sm.PredDecidedObjects, &sm.PredCorrectObjects,
+			&sm.PredDecidedBytes, &sm.PredCorrectBytes,
 		}
-		if err != nil {
-			return nil, fmt.Errorf("obs: timeline CSV row %d: %w", i+2, err)
+		for col, dst := range ints {
+			if dst == nil {
+				sm.ArenaOccupancy, err = strconv.ParseFloat(rec[col], 64)
+			} else {
+				*dst, err = strconv.ParseInt(rec[col], 10, 64)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("obs: timeline CSV row %d: %w", i+2, err)
+			}
 		}
 		out = append(out, sm)
 	}

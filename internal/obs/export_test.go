@@ -20,17 +20,27 @@ func buildSnapshot() *Snapshot {
 	}
 	lh := c.LinearHistogram("arena.scan_len", 1, 4)
 	lh.Observe(2)
+	c.Counter("pred.tp_objects").Add(3)
+	c.Counter("pred.fp_objects").Add(1)
+	c.Gauge("pred.threshold_bytes").Set(32768)
+	c.Log2Histogram("pred.lifetime_pred_short", 12).Observe(100)
 	c.SetClock(100)
 	c.Emit(EvArenaReuse, 3)
-	c.RecordSample(Sample{Clock: 100, LiveBytes: 40, LiveObjects: 2, HeapBytes: 128, ArenaOccupancy: 0.25})
+	c.RecordSample(Sample{Clock: 100, LiveBytes: 40, LiveObjects: 2, HeapBytes: 128, ArenaOccupancy: 0.25,
+		PredDecidedObjects: 2, PredCorrectObjects: 1, PredDecidedBytes: 32, PredCorrectBytes: 16})
 	c.MarkPhase("50%")
 	c.SetClock(250)
 	c.Emit(EvHeapGrow, 4096)
-	c.RecordSample(Sample{Clock: 250, LiveBytes: 80, LiveObjects: 4, HeapBytes: 256, ArenaOccupancy: 0.5})
+	c.RecordSample(Sample{Clock: 250, LiveBytes: 80, LiveObjects: 4, HeapBytes: 256, ArenaOccupancy: 0.5,
+		PredDecidedObjects: 4, PredCorrectObjects: 3, PredDecidedBytes: 64, PredCorrectBytes: 48})
 	c.MarkPhase("end")
 	c.SetSites([]SiteBytes{
 		{Site: "main>parse>alloc", Allocs: 10, Bytes: 400},
 		{Site: "main>eval>alloc", Allocs: 5, Bytes: 100},
+	})
+	c.SetPredSites([]PredSite{
+		{Site: "main>parse>alloc", FPObjects: 1, FPBytes: 64, FPCost: 2048},
+		{Site: "main>eval>alloc", FNObjects: 2, FNBytes: 32},
 	})
 	s := c.Snapshot()
 	s.Program = "gawk"

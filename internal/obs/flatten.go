@@ -36,6 +36,9 @@ func (s *Snapshot) Flatten() map[string]float64 {
 	for kind, n := range s.Events.Counts {
 		out["events."+kind] = float64(n)
 	}
+	// Sink overflow is surfaced unconditionally (usually 0) so a capped
+	// raw-event window is visible rather than a silent truncation.
+	out["obs.dropped_events"] = float64(s.Events.Dropped)
 	return out
 }
 

@@ -1,0 +1,51 @@
+package obs
+
+// Prediction-quality observability: the replay loops know both the
+// prediction made at alloc time and the actual lifetime observed at free
+// time, and record the comparison here. Everything is measured on the
+// bytes-allocated clock, so accuracy numbers are deterministic and
+// machine-independent — exact enough to gate in CI.
+//
+// The metric families (all flow through Flatten and expfmt as lp_pred_*):
+//
+//   - pred.tp_objects / pred.fp_objects / pred.fn_objects / pred.tn_objects
+//     and the pred.*_bytes twins: the confusion matrix, by objects and by
+//     bytes. "Positive" means predicted short-lived.
+//   - pred.fp_cost_bytelife: misprediction cost — for each false positive,
+//     size x (lifetime - threshold), the byte-lifetime product the object
+//     spent squatting in the predicted-short region past the threshold.
+//   - pred.threshold_bytes (gauge): the short-lifetime threshold in play.
+//   - pred.lifetime_pred_short / pred.lifetime_pred_long (log2 histograms):
+//     actual lifetimes split by predicted class, so calibration is visible
+//     as distribution overlap.
+//
+// Per-site attribution lands in Snapshot.PredSites, and the rolling
+// accuracy channel in the timeline's Pred* sample fields.
+
+// PredSite attributes mispredictions to one allocation site: false
+// positives (predicted short, lived long — the paper's arena-pollution
+// failure mode) with their byte-lifetime cost, and false negatives
+// (predicted long, died short — missed arena opportunities). Sites with no
+// mispredictions are not listed.
+type PredSite struct {
+	Site      string `json:"site"` // rendered call-chain
+	FPObjects int64  `json:"fp_objects,omitempty"`
+	FPBytes   int64  `json:"fp_bytes,omitempty"`
+	// FPCost is the summed size x (lifetime - threshold) of the site's
+	// false positives: how much byte-lifetime its long-lived objects held
+	// in the predicted-short region past the threshold.
+	FPCost    int64 `json:"fp_cost,omitempty"`
+	FNObjects int64 `json:"fn_objects,omitempty"`
+	FNBytes   int64 `json:"fn_bytes,omitempty"`
+}
+
+// SetPredSites attaches the per-site misprediction ranking; core computes
+// it during an observed replay, mirroring SetSites.
+func (c *Collector) SetPredSites(sites []PredSite) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.predSites = sites
+	c.mu.Unlock()
+}

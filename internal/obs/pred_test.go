@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+func TestFlattenPredAndDropped(t *testing.T) {
+	s := buildSnapshot()
+	m := s.Flatten()
+	checks := map[string]float64{
+		"pred.tp_objects":                3,
+		"pred.fp_objects":                1,
+		"pred.threshold_bytes":           32768,
+		"pred.threshold_bytes.max":       32768,
+		"pred.lifetime_pred_short.count": 1,
+		"pred.lifetime_pred_short.sum":   100,
+		"obs.dropped_events":             0,
+	}
+	for name, want := range checks {
+		got, ok := m[name]
+		if !ok {
+			t.Errorf("Flatten missing %q", name)
+			continue
+		}
+		if got != want {
+			t.Errorf("Flatten[%q] = %g, want %g", name, got, want)
+		}
+	}
+}
+
+func TestDroppedEventsSurfaced(t *testing.T) {
+	c := NewCollector(Options{Label: "tiny", EventCap: 1})
+	c.Emit(EvHeapGrow, 1)
+	c.Emit(EvHeapGrow, 2)
+	c.Emit(EvCoalesce, 3)
+	s := c.Snapshot()
+	if s.Events.Dropped != 2 {
+		t.Errorf("Dropped = %d, want 2", s.Events.Dropped)
+	}
+	if got := s.Flatten()["obs.dropped_events"]; got != 2 {
+		t.Errorf("Flatten[obs.dropped_events] = %g, want 2", got)
+	}
+	// Per-kind totals stay exact even when the raw window overflows.
+	if s.Events.Counts["heap_grow"] != 2 || s.Events.Counts["coalesce"] != 1 {
+		t.Errorf("exact counts perturbed by window overflow: %v", s.Events.Counts)
+	}
+}
+
+func TestSetPredSites(t *testing.T) {
+	var nilC *Collector
+	nilC.SetPredSites([]PredSite{{Site: "x"}}) // must not panic
+
+	c := NewCollector(Options{})
+	if got := c.Snapshot().PredSites; got != nil {
+		t.Errorf("PredSites before SetPredSites = %v, want nil", got)
+	}
+	want := []PredSite{
+		{Site: "a", FPObjects: 1, FPBytes: 10, FPCost: 500},
+		{Site: "b", FNObjects: 2, FNBytes: 20},
+	}
+	c.SetPredSites(want)
+	got := c.Snapshot().PredSites
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("PredSites = %+v, want %+v", got, want)
+	}
+	// JSON round-trips the attribution exactly.
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, c.Snapshot()); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatalf("ReadJSON: %v", err)
+	}
+	if !reflect.DeepEqual(back.PredSites, want) {
+		t.Errorf("PredSites after JSON = %+v, want %+v", back.PredSites, want)
+	}
+}
+
+func TestTimelinePredChannelCSV(t *testing.T) {
+	s := &Snapshot{Timeline: []Sample{
+		{Clock: 10, PredDecidedObjects: 1, PredCorrectObjects: 1, PredDecidedBytes: 8, PredCorrectBytes: 8},
+		{Clock: 20, PredDecidedObjects: 3, PredCorrectObjects: 2, PredDecidedBytes: 24, PredCorrectBytes: 16},
+	}}
+	var buf bytes.Buffer
+	if err := WriteTimelineCSV(&buf, s); err != nil {
+		t.Fatalf("WriteTimelineCSV: %v", err)
+	}
+	got, err := ReadTimelineCSV(&buf)
+	if err != nil {
+		t.Fatalf("ReadTimelineCSV: %v", err)
+	}
+	if !reflect.DeepEqual(got, s.Timeline) {
+		t.Errorf("pred channel CSV round trip:\n got %+v\nwant %+v", got, s.Timeline)
+	}
+}

@@ -12,6 +12,17 @@ type Sample struct {
 	LiveObjects    int64   `json:"live_objects"`
 	HeapBytes      int64   `json:"heap_bytes"`                // allocator footprint (address space)
 	ArenaOccupancy float64 `json:"arena_occupancy,omitempty"` // fraction of arena area in use, 0 for non-arena runs
+
+	// Rolling prediction-accuracy channel: cumulative counts of objects
+	// (and their bytes) whose predictions have been resolved at free time
+	// by this point on the clock, and how many resolved correctly.
+	// Deltas between consecutive samples give windowed accuracy, so
+	// calibration drift across a run's phases is visible; zero throughout
+	// for replays without prediction tracking.
+	PredDecidedObjects int64 `json:"pred_decided_objects,omitempty"`
+	PredCorrectObjects int64 `json:"pred_correct_objects,omitempty"`
+	PredDecidedBytes   int64 `json:"pred_decided_bytes,omitempty"`
+	PredCorrectBytes   int64 `json:"pred_correct_bytes,omitempty"`
 }
 
 // DefaultTimelineInterval is the default sampling cadence: one sample per

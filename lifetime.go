@@ -144,6 +144,9 @@ type (
 	// ObsSnapshot is a serializable view of one observed run (what
 	// `lpsim -obs` writes and `lpstats` renders).
 	ObsSnapshot = obs.Snapshot
+	// ObsPredSite attributes mispredictions (false-positive cost, false
+	// negatives) to one allocation site in ObsSnapshot.PredSites.
+	ObsPredSite = obs.PredSite
 
 	// TraceSource streams allocation events one Next call at a time
 	// (io.EOF marks a clean end); the whole pipeline — generation,
