@@ -36,10 +36,12 @@ func main() {
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent simulation workers")
 	out := flag.String("o", "-", "output bench JSON file, - for stdout")
 	only := flag.String("only", "", "keep only metrics whose name starts with this prefix (e.g. pred.)")
+	heapScan := flag.Bool("heapscan", false, "walk each allocator's span layout at every timeline sample, adding the deterministic heap.* fragmentation families")
 	cliutil.Parse(name,
 		"run the simulation matrix and emit a deterministic bench JSON file",
 		"lpbench -label seed -o BENCH_seed.json",
 		"lpbench -only pred. -label accuracy-seed -o ACCURACY_seed.json",
+		"lpbench -heapscan -only heap. -label frag-seed -o FRAG_seed.json",
 		"lpbench -o new.json && lpdiff -threshold sim_bytes_per_op+10% BENCH_seed.json new.json")
 
 	jobs, err := core.ParseMatrix(*matrixSpec)
@@ -52,7 +54,7 @@ func main() {
 	cfg.SeedBase = *seed
 	runner := core.NewMatrixRunner(cfg)
 	results := runner.RunAll(jobs, *workers, func(j core.MatrixJob) *obs.Collector {
-		return obs.NewCollector(obs.Options{Label: j.String()})
+		return obs.NewCollector(obs.Options{Label: j.String(), HeapScan: *heapScan})
 	})
 
 	file := &core.BenchFile{Label: *label, Scale: *scale, SeedBase: *seed}

@@ -230,6 +230,14 @@ func TestMetricsLiveMidReplay(t *testing.T) {
 		if strings.Contains(raw.String(), "lp_clock_bytes") {
 			sawLive = true
 		}
+		// Served jobs always run with the heap scanner on, so any scrape
+		// that sees a started job also sees the lp_heap_* topology
+		// families (at minimum the always-on scan counter and heatmap
+		// row/bin gauges) live, mid-replay.
+		if strings.Contains(raw.String(), "lp_clock_bytes") &&
+			!strings.Contains(raw.String(), "lp_heap_scan_samples") {
+			t.Fatalf("scrape %d has a live job but no lp_heap_ families", i)
+		}
 	}
 	if !sawLive {
 		t.Error("no scrape observed a started job (all 50 raced ahead of the workers?)")
@@ -264,6 +272,19 @@ func TestSnapshotEndpoint(t *testing.T) {
 	}
 	if snap.Clock <= 0 {
 		t.Errorf("snapshot clock = %d, want > 0", snap.Clock)
+	}
+	// Served jobs run with the heap scanner on, so the downloadable
+	// snapshot carries the full topology: lpstats renders its
+	// fragmentation-decomposition table and heatmap from exactly this
+	// file (it keys off heap.scan_samples and the heatmap matrix).
+	if snap.Counters["heap.scan_samples"] <= 0 {
+		t.Error("snapshot has no heap.scan_samples; lpstats cannot render the frag table")
+	}
+	if snap.Heatmap == nil || len(snap.Heatmap.Rows) == 0 {
+		t.Error("snapshot has no heatmap rows")
+	}
+	if n := int64(len(snap.Timeline)); snap.Counters["heap.scan_samples"] != n {
+		t.Errorf("scan_samples = %d, timeline has %d samples", snap.Counters["heap.scan_samples"], n)
 	}
 
 	for _, path := range []string{"/snapshot/99.json", "/snapshot/1", "/snapshot/x.json"} {

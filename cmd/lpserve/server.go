@@ -186,6 +186,10 @@ func (s *server) worker() {
 			Label:      j.Spec.String(),
 			SampleHook: func(sm obs.Sample) { s.broker.publishSample(id, sm) },
 			EventHook:  func(ev obs.Event) { s.broker.publishEvent(id, ev) },
+			// Heap topology is always on for served jobs: a mid-replay
+			// /metrics scrape shows the live lp_heap_* fragmentation
+			// decomposition and heatmap alongside the counters.
+			HeapScan: true,
 		})
 		j.setRunning(col)
 		s.broker.publishJob(j)

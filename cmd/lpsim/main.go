@@ -44,9 +44,12 @@ func main() {
 	callsPerAlloc := flag.Float64("calls-per-alloc", 0, "function calls per allocation for the CCE cost column (0 = use the trace's metadata)")
 	obsPath := flag.String("obs", "", "observe the run and write the metrics snapshot JSON here (- for stdout)")
 	obsInterval := flag.Int64("obs-interval", 0, "timeline sampling cadence in bytes allocated (0 = default 64KB)")
+	heapScan := flag.Bool("heapscan", false, "with -obs: walk the allocator's span layout at every timeline sample, decomposing fragmentation (heap.* families) and recording an address-space heatmap")
+	heatmapBins := flag.Int("heatmap-bins", 0, "address-space heatmap column count (0 = default 32); needs -heapscan")
 	cliutil.Parse(name,
 		"replay an allocation trace through an allocator simulator",
-		"lpsim -trace test.trc -alloc arena -sites sites.json [-obs metrics.json]")
+		"lpsim -trace test.trc -alloc arena -sites sites.json [-obs metrics.json]",
+		"lpsim -trace test.trc -alloc firstfit -obs metrics.json -heapscan")
 
 	if *tracePath == "" {
 		cliutil.UsageError(name, "missing -trace")
@@ -102,6 +105,8 @@ func main() {
 		col = lifetime.NewObsCollector(lifetime.ObsOptions{
 			Label:            src.Meta().Program + "/" + *allocName,
 			TimelineInterval: *obsInterval,
+			HeapScan:         *heapScan,
+			HeatmapBins:      *heatmapBins,
 		})
 	}
 

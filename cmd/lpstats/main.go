@@ -32,9 +32,11 @@ func main() {
 	metricsPath := flag.String("metrics", "", "metrics snapshot JSON from lpsim -obs (- for stdin)")
 	top := flag.Int("top", 15, "how many allocation sites to list")
 	rows := flag.Int("rows", 16, "how many timeline rows in the fragmentation table")
+	heatmapCSV := flag.String("heatmap-csv", "", "also write the address-space heatmap as CSV here (- for stdout)")
 	cliutil.Parse(name,
 		"render an lpsim -obs metrics snapshot as a text report",
-		"lpsim -trace t.trc -alloc arena -obs - | lpstats -metrics -")
+		"lpsim -trace t.trc -alloc arena -obs - | lpstats -metrics -",
+		"lpsim -trace t.trc -alloc firstfit -obs m.json -heapscan && lpstats -metrics m.json -heatmap-csv heat.csv")
 
 	if *metricsPath == "" {
 		cliutil.UsageError(name, "missing -metrics")
@@ -57,10 +59,37 @@ func main() {
 	printCounters(snap)
 	printHistograms(snap)
 	printTimeline(snap, *rows)
+	printHeapTopology(snap, *rows)
 	printEvents(snap)
 	printPhases(snap)
 	printSites(snap, *top)
 	printAccuracy(snap, *top, *rows)
+
+	if *heatmapCSV != "" {
+		if err := writeHeatmapCSV(*heatmapCSV, snap); err != nil {
+			cliutil.Fatal(name, err)
+		}
+		if *heatmapCSV != "-" {
+			fmt.Printf("heatmap CSV: %s\n", *heatmapCSV)
+		}
+	}
+}
+
+// writeHeatmapCSV exports the snapshot's heatmap (header-only when the
+// scanner never ran) to a file or stdout.
+func writeHeatmapCSV(path string, snap *obs.Snapshot) error {
+	if path == "-" {
+		return obs.WriteHeatmapCSV(os.Stdout, snap)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteHeatmapCSV(f, snap); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func printHeader(s *obs.Snapshot) {
@@ -172,6 +201,99 @@ func printTimeline(s *obs.Snapshot, rows int) {
 		}
 	}
 	tb.WriteTo(os.Stdout)
+}
+
+// printHeapTopology renders the heap scanner's output: the
+// fragmentation decomposition over time and the ASCII address-space
+// heatmap. Snapshots from replays without the scanner carry no
+// heap.scan_samples counter and skip the section entirely.
+func printHeapTopology(s *obs.Snapshot, rows int) {
+	if _, ok := s.Counters["heap.scan_samples"]; !ok {
+		return
+	}
+	printFragDecomposition(s, rows)
+	printHeatmap(s, rows)
+}
+
+// printFragDecomposition tables the per-sample split of the heap into
+// live payload, header overhead, internal and external fragmentation,
+// and holes — the components that sum to the allocator footprint.
+func printFragDecomposition(s *obs.Snapshot, rows int) {
+	if len(s.Timeline) == 0 || rows <= 0 {
+		return
+	}
+	tb := table.New(
+		fmt.Sprintf("fragmentation decomposition (%d layout scans)",
+			s.Counters["heap.scan_samples"]),
+		"Clock", "Payload KB", "Header KB", "Intern KB", "Extern KB", "Holes KB", "Heap KB", "Free spans", "Max free KB")
+	stride := (len(s.Timeline) + rows - 1) / rows
+	for i := 0; i < len(s.Timeline); i += stride {
+		if i+stride >= len(s.Timeline) {
+			i = len(s.Timeline) - 1
+		}
+		p := s.Timeline[i]
+		tb.RowStrings(
+			fmt.Sprintf("%d", p.Clock),
+			fmt.Sprintf("%d", p.HeapLivePayload>>10),
+			fmt.Sprintf("%d", p.HeapHeaderBytes>>10),
+			fmt.Sprintf("%d", p.HeapInternalFrag>>10),
+			fmt.Sprintf("%d", p.HeapExternalFrag>>10),
+			fmt.Sprintf("%d", p.HeapHoleBytes>>10),
+			fmt.Sprintf("%d", p.HeapBytes>>10),
+			fmt.Sprintf("%d", p.HeapFreeSpans),
+			fmt.Sprintf("%d", p.HeapLargestFreeSpan>>10))
+		if i == len(s.Timeline)-1 {
+			break
+		}
+	}
+	tb.WriteTo(os.Stdout)
+}
+
+// heatRamp maps bin density (live bytes / bin width) to glyphs, empty to
+// full.
+var heatRamp = []byte(" .:-=+*#%@")
+
+// printHeatmap renders the address-space heatmap: one text row per
+// (strided) timeline sample, one glyph per bin.
+func printHeatmap(s *obs.Snapshot, rows int) {
+	h := s.Heatmap
+	if h == nil || len(h.Rows) == 0 || rows <= 0 {
+		return
+	}
+	fmt.Printf("address-space heatmap (%d bins x %d rows; ' ' empty .. '@' full)\n",
+		h.Bins, len(h.Rows))
+	stride := (len(h.Rows) + rows - 1) / rows
+	line := make([]byte, h.Bins)
+	for i := 0; i < len(h.Rows); i += stride {
+		if i+stride >= len(h.Rows) {
+			i = len(h.Rows) - 1
+		}
+		row := h.Rows[i]
+		var binW int64
+		if h.Bins > 0 && row.Extent > 0 {
+			binW = (row.Extent + int64(h.Bins) - 1) / int64(h.Bins)
+		}
+		for b := range line {
+			line[b] = ' '
+			if binW <= 0 || b >= len(row.Cells) {
+				continue
+			}
+			c := row.Cells[b]
+			idx := int(c * int64(len(heatRamp)-1) / binW)
+			if idx >= len(heatRamp) {
+				idx = len(heatRamp) - 1
+			}
+			if c > 0 && idx == 0 {
+				idx = 1 // occupied bins always render, however faintly
+			}
+			line[b] = heatRamp[idx]
+		}
+		fmt.Printf("  %12d |%s|\n", row.Clock, line)
+		if i == len(h.Rows)-1 {
+			break
+		}
+	}
+	fmt.Println()
 }
 
 func printEvents(s *obs.Snapshot) {

@@ -40,9 +40,11 @@ func main() {
 	programs := flag.String("programs", "", "comma-separated subset of programs to run (default all)")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "max concurrent builds/table cells")
 	timings := flag.Bool("timings", false, "print per-cell wall-clock summary to stderr")
+	tracePath := flag.String("trace", "", "write the engine schedule as Chrome trace_event JSON (load in Perfetto or chrome://tracing)")
 	cliutil.Parse(name,
 		"regenerate the paper's tables from the models and simulators",
-		"lptables -scale 0.25 -seed 1993 -tables 2,7,8 -workers 4")
+		"lptables -scale 0.25 -seed 1993 -tables 2,7,8 -workers 4",
+		"lptables -scale 0.02 -trace schedule.json")
 
 	want, err := core.ParseTables(*tables)
 	if err != nil {
@@ -84,6 +86,21 @@ func main() {
 		var b bytes.Buffer
 		res.WriteTimings(&b)
 		fmt.Fprint(os.Stderr, b.String())
+	}
+
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := res.WriteChromeTrace(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "%s: wrote %d trace events to %s\n", name, len(res.Timings), *tracePath)
 	}
 }
 

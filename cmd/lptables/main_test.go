@@ -10,6 +10,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -217,5 +218,52 @@ func TestTimingsFlagWritesStderrOnly(t *testing.T) {
 	}
 	if !strings.Contains(stdout, "Table 1:") {
 		t.Errorf("report missing from stdout:\n%s", stdout)
+	}
+}
+
+func TestTraceFlagWritesChromeTrace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exec run is seconds-long; skipped in -short")
+	}
+	out := filepath.Join(t.TempDir(), "trace.json")
+	stdout, stderr, code := runLptables(t,
+		"-scale", "0.005", "-tables", "1", "-programs", "cfrac", "-trace", out)
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "Table 1:") {
+		t.Errorf("report missing from stdout:\n%s", stdout)
+	}
+	if !strings.Contains(stderr, "trace events") {
+		t.Errorf("stderr missing trace confirmation:\n%s", stderr)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			Tid  int    `json:"tid"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("trace file is not JSON: %v", err)
+	}
+	// One build plus one Table 1 cell for the single program.
+	if len(doc.TraceEvents) != 2 || doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("trace doc = %d events, unit %q", len(doc.TraceEvents), doc.DisplayTimeUnit)
+	}
+	names := map[string]bool{}
+	for _, e := range doc.TraceEvents {
+		names[e.Name] = true
+		if e.Ph != "X" {
+			t.Errorf("%s: ph = %q, want X", e.Name, e.Ph)
+		}
+	}
+	if !names["cfrac/build"] || !names["cfrac/1"] {
+		t.Errorf("trace events = %v, want cfrac/build and cfrac/1", names)
 	}
 }

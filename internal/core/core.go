@@ -221,6 +221,11 @@ type obsTracker struct {
 	decidedBytes           int64
 	rightBytes             int64
 
+	// scan is the opt-in heap-topology scanner (Options.HeapScan); nil
+	// when the collector did not request it or the allocator exposes no
+	// Walker. Scans run only on timeline samples, never per event.
+	scan *heapScanner
+
 	nEvents int // 0 when unknown (streaming)
 	seen    int
 }
@@ -278,6 +283,11 @@ func newObsTracker(col *obs.Collector, alloc heapsim.Allocator, nEvents int, thr
 	col.Gauge("pred.threshold_bytes").Set(thr)
 	if occ, ok := alloc.(occupancyReporter); ok {
 		t.occ = occ
+	}
+	if col.HeapScanEnabled() {
+		if w, ok := alloc.(heapsim.Walker); ok {
+			t.scan = newHeapScanner(col, w)
+		}
 	}
 	return t
 }
@@ -392,6 +402,16 @@ func (t *obsTracker) sample() {
 	}
 	if t.occ != nil {
 		s.ArenaOccupancy = t.occ.ArenaOccupancy()
+	}
+	if t.scan != nil {
+		st := t.scan.scan(t.clock)
+		s.HeapLivePayload = st.livePayload
+		s.HeapHeaderBytes = st.header
+		s.HeapInternalFrag = st.internal
+		s.HeapExternalFrag = st.external
+		s.HeapHoleBytes = st.holes
+		s.HeapFreeSpans = st.freeSpans
+		s.HeapLargestFreeSpan = st.largestFree
 	}
 	t.col.RecordSample(s)
 }

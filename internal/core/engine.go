@@ -177,10 +177,14 @@ type Spec struct {
 	Progress func(msg string)
 }
 
-// CellTiming records the wall-clock duration of one scheduled cell.
+// CellTiming records the wall-clock schedule of one cell: when it
+// started relative to the run's start (after acquiring a worker slot)
+// and how long it ran. Start offsets make cell overlap reconstructible —
+// WriteChromeTrace renders them as a Perfetto-loadable trace.
 type CellTiming struct {
 	Program string
 	Cell    string // "build", "1".."9", "L", "A1".."A8"
+	Start   time.Duration
 	Dur     time.Duration
 }
 
@@ -267,11 +271,13 @@ func (e *Engine) Run(spec Spec) (*RunResult, error) {
 
 	nCell := len(cells)
 	type slot struct {
-		rows map[string][]string
-		err  error
-		dur  time.Duration
+		rows  map[string][]string
+		err   error
+		begin time.Duration
+		dur   time.Duration
 	}
 	slots := make([]slot, len(models)*nCell)
+	buildBegin := make([]time.Duration, len(models))
 	buildDur := make([]time.Duration, len(models))
 	buildErr := make([]error, len(models))
 
@@ -294,6 +300,7 @@ func (e *Engine) Run(spec Spec) (*RunResult, error) {
 			sem <- struct{}{}
 			progress(fmt.Sprintf("building %s...", m.Name))
 			t0 := time.Now()
+			buildBegin[pi] = t0.Sub(start)
 			a, err := e.Artifacts(m.Name)
 			buildDur[pi] = time.Since(t0)
 			<-sem
@@ -315,6 +322,7 @@ func (e *Engine) Run(spec Spec) (*RunResult, error) {
 						s.rows[tableID] = rowCells
 					}
 					t0 := time.Now()
+					s.begin = t0.Sub(start)
 					s.err = cells[ci].run(e.cfg, a, add)
 					s.dur = time.Since(t0)
 					spec.Collector.ObserveTiming("engine_cell", s.dur)
@@ -366,9 +374,10 @@ func (e *Engine) Run(spec Spec) (*RunResult, error) {
 
 	timings := make([]CellTiming, 0, len(models)*(1+nCell))
 	for pi, m := range models {
-		timings = append(timings, CellTiming{Program: m.Name, Cell: "build", Dur: buildDur[pi]})
+		timings = append(timings, CellTiming{Program: m.Name, Cell: "build", Start: buildBegin[pi], Dur: buildDur[pi]})
 		for ci, cd := range cells {
-			timings = append(timings, CellTiming{Program: m.Name, Cell: cd.name, Dur: slots[pi*nCell+ci].dur})
+			s := &slots[pi*nCell+ci]
+			timings = append(timings, CellTiming{Program: m.Name, Cell: cd.name, Start: s.begin, Dur: s.dur})
 		}
 	}
 	return &RunResult{Output: buf.Bytes(), Timings: timings, Wall: time.Since(start)}, nil

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// TraceEvent is one Chrome trace_event "complete" event (ph "X"): the
+// JSON shape chrome://tracing and Perfetto load directly. Timestamps and
+// durations are microseconds from the engine run's start.
+type TraceEvent struct {
+	Name string `json:"name"`
+	Cat  string `json:"cat"`
+	Ph   string `json:"ph"`
+	Ts   int64  `json:"ts"`
+	Dur  int64  `json:"dur"`
+	Pid  int    `json:"pid"`
+	Tid  int    `json:"tid"`
+}
+
+// chromeTrace is the trace_event container object.
+type chromeTrace struct {
+	TraceEvents     []TraceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// TraceEvents converts the run's cell timings into Chrome trace events.
+// Tids are lanes: each event takes the lowest lane that was free at its
+// start time, so concurrent cells land on different rows and the
+// schedule's overlap is visible instead of inferred from totals.
+func (r *RunResult) TraceEvents() []TraceEvent {
+	idx := make([]int, len(r.Timings))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return r.Timings[idx[a]].Start < r.Timings[idx[b]].Start
+	})
+	events := make([]TraceEvent, 0, len(r.Timings))
+	var laneEnd []int64 // per-lane busy-until, microseconds
+	for _, i := range idx {
+		t := r.Timings[i]
+		ts := t.Start.Microseconds()
+		dur := t.Dur.Microseconds()
+		lane := -1
+		for l, end := range laneEnd {
+			if end <= ts {
+				lane = l
+				break
+			}
+		}
+		if lane < 0 {
+			lane = len(laneEnd)
+			laneEnd = append(laneEnd, 0)
+		}
+		laneEnd[lane] = ts + dur
+		cat := "cell"
+		if t.Cell == "build" {
+			cat = "build"
+		}
+		events = append(events, TraceEvent{
+			Name: t.Program + "/" + t.Cell,
+			Cat:  cat,
+			Ph:   "X",
+			Ts:   ts,
+			Dur:  dur,
+			Pid:  1,
+			Tid:  lane + 1,
+		})
+	}
+	return events
+}
+
+// WriteChromeTrace writes the run's schedule in the Chrome trace_event
+// JSON format; load the file in Perfetto or chrome://tracing to see
+// per-lane cell overlap.
+func (r *RunResult) WriteChromeTrace(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(chromeTrace{
+		TraceEvents:     r.TraceEvents(),
+		DisplayTimeUnit: "ms",
+	})
+}

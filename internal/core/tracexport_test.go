@@ -1,0 +1,102 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestChromeTraceExport(t *testing.T) {
+	res := &RunResult{Timings: []CellTiming{
+		{Program: "gawk", Cell: "build", Start: 0, Dur: 10 * time.Millisecond},
+		{Program: "cfrac", Cell: "build", Start: 2 * time.Millisecond, Dur: 10 * time.Millisecond},
+		{Program: "gawk", Cell: "2", Start: 10 * time.Millisecond, Dur: 5 * time.Millisecond},
+	}}
+	evs := res.TraceEvents()
+	if len(evs) != 3 {
+		t.Fatalf("got %d events, want 3", len(evs))
+	}
+	byName := map[string]TraceEvent{}
+	for _, e := range evs {
+		byName[e.Name] = e
+		if e.Ph != "X" {
+			t.Errorf("%s: ph = %q, want complete-event X", e.Name, e.Ph)
+		}
+		if e.Pid != 1 {
+			t.Errorf("%s: pid = %d, want 1", e.Name, e.Pid)
+		}
+	}
+	if byName["gawk/build"].Cat != "build" || byName["cfrac/build"].Cat != "build" {
+		t.Error("build cells not categorized as build")
+	}
+	if byName["gawk/2"].Cat != "cell" {
+		t.Errorf("gawk/2 cat = %q, want cell", byName["gawk/2"].Cat)
+	}
+	// Lanes: gawk/build takes lane 1; cfrac/build overlaps it and spills to
+	// lane 2; gawk/2 starts exactly when gawk/build ends and reuses lane 1.
+	if got := byName["gawk/build"].Tid; got != 1 {
+		t.Errorf("gawk/build tid = %d, want 1", got)
+	}
+	if got := byName["cfrac/build"].Tid; got != 2 {
+		t.Errorf("cfrac/build tid = %d, want 2", got)
+	}
+	if got := byName["gawk/2"].Tid; got != 1 {
+		t.Errorf("gawk/2 tid = %d, want lane 1 reused", got)
+	}
+	// The invariant behind the lane assignment: no two events on the same
+	// tid overlap in time.
+	lanes := map[int][]TraceEvent{}
+	for _, e := range evs {
+		for _, prev := range lanes[e.Tid] {
+			if e.Ts < prev.Ts+prev.Dur && prev.Ts < e.Ts+e.Dur {
+				t.Errorf("tid %d: %s overlaps %s", e.Tid, e.Name, prev.Name)
+			}
+		}
+		lanes[e.Tid] = append(lanes[e.Tid], e)
+	}
+
+	var buf bytes.Buffer
+	if err := res.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents     []json.RawMessage `json:"traceEvents"`
+		DisplayTimeUnit string            `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace JSON does not parse: %v\n%s", err, buf.String())
+	}
+	if len(doc.TraceEvents) != 3 || doc.DisplayTimeUnit != "ms" {
+		t.Errorf("trace doc = %d events, unit %q", len(doc.TraceEvents), doc.DisplayTimeUnit)
+	}
+}
+
+func TestEngineTimingsCarryStart(t *testing.T) {
+	eng := NewEngine(DefaultConfig(0.002))
+	res, err := eng.Run(Spec{
+		Tables:   map[string]bool{"2": true},
+		Programs: []string{"gawk"},
+		Workers:  1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Timings) == 0 {
+		t.Fatal("engine produced no timings")
+	}
+	evs := res.TraceEvents()
+	if len(evs) != len(res.Timings) {
+		t.Fatalf("%d trace events from %d timings", len(evs), len(res.Timings))
+	}
+	// With one worker the schedule is serial: every event fits in lane 1
+	// and starts no earlier than the previous one.
+	for i, e := range evs {
+		if e.Tid != 1 {
+			t.Errorf("event %d (%s): tid = %d, want 1 with a single worker", i, e.Name, e.Tid)
+		}
+		if i > 0 && e.Ts < evs[i-1].Ts {
+			t.Errorf("event %d starts before its predecessor", i)
+		}
+	}
+}

@@ -75,6 +75,7 @@ func TestPipeline(t *testing.T) {
 	test := filepath.Join(dir, "test.trc")
 	sites := filepath.Join(dir, "sites.json")
 	metrics := filepath.Join(dir, "metrics.json")
+	heatCSV := filepath.Join(dir, "heatmap.csv")
 
 	// lpgen: one training trace, one test trace.
 	if _, stderr, code := run(t, bin, "lpgen",
@@ -101,7 +102,7 @@ func TestPipeline(t *testing.T) {
 
 	// lpsim: replay the test trace with prediction and observability.
 	stdout, stderr, code := run(t, bin, "lpsim",
-		"-trace", test, "-alloc", "arena", "-sites", sites, "-obs", metrics)
+		"-trace", test, "-alloc", "arena", "-sites", sites, "-obs", metrics, "-heapscan")
 	if code != 0 {
 		t.Fatalf("lpsim exited %d: %s", code, stderr)
 	}
@@ -111,8 +112,8 @@ func TestPipeline(t *testing.T) {
 		}
 	}
 
-	// lpstats: render the snapshot.
-	stdout, stderr, code = run(t, bin, "lpstats", "-metrics", metrics)
+	// lpstats: render the snapshot, writing the heatmap CSV alongside.
+	stdout, stderr, code = run(t, bin, "lpstats", "-metrics", metrics, "-heatmap-csv", heatCSV)
 	if code != 0 {
 		t.Fatalf("lpstats exited %d: %s", code, stderr)
 	}
@@ -121,10 +122,26 @@ func TestPipeline(t *testing.T) {
 		// The accuracy/calibration report: an observed replay with a
 		// predictor must render the confusion matrix and site attribution.
 		"prediction accuracy", "false positive", "calibration drift",
+		// The heap-topology report: a -heapscan replay must render the
+		// fragmentation table and the address-space heatmap.
+		"fragmentation decomposition", "address-space heatmap",
 	} {
 		if !strings.Contains(stdout, want) {
 			t.Errorf("lpstats report is missing %q", want)
 		}
+	}
+
+	// The heatmap CSV has the full-width header and at least one data row.
+	heatData, err := os.ReadFile(heatCSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heatLines := strings.Split(strings.TrimSpace(string(heatData)), "\n")
+	if !strings.HasPrefix(heatLines[0], "clock,extent,bin0,") {
+		t.Errorf("heatmap CSV header = %q", heatLines[0])
+	}
+	if len(heatLines) < 2 {
+		t.Error("heatmap CSV has no data rows")
 	}
 
 	// Missing flag is a usage error: exit 2.

@@ -44,6 +44,11 @@ type Region struct {
 	// Segregated-list allocators (BSD, Custom) never coalesce and leave
 	// it false.
 	Coalesced bool
+	// Header is the per-object bookkeeping overhead modeled inside each
+	// live span's Size (0 for bump-pointer windows, whose spans carry no
+	// header). It lets a layout scanner split Size - Payload into header
+	// and padding components.
+	Header int64
 }
 
 // Walker is implemented by every simulator that can expose its block and
@@ -100,7 +105,7 @@ func walkFF(ff *FirstFit, emit func(Span) error) error {
 // Regions implements Walker: first-fit owns one sbrk window from 0.
 func (ff *FirstFit) Regions() []Region {
 	ff.init()
-	return []Region{{Name: "heap", Base: 0, End: ff.heapEnd, Tiled: true, Coalesced: true}}
+	return []Region{{Name: "heap", Base: 0, End: ff.heapEnd, Tiled: true, Coalesced: true, Header: ff.Header}}
 }
 
 // Walk implements Walker over the address-ordered block list.
@@ -121,7 +126,7 @@ func (b *BestFit) Walk(emit func(Span) error) error {
 // Regions implements Walker: BSD owns one carve window from 0.
 func (b *BSD) Regions() []Region {
 	b.init()
-	return []Region{{Name: "heap", Base: 0, End: b.heapEnd, Tiled: true}}
+	return []Region{{Name: "heap", Base: 0, End: b.heapEnd, Tiled: true, Header: b.Header}}
 }
 
 // Walk implements Walker: every carved chunk is either live or on its

@@ -27,6 +27,16 @@ type Options struct {
 	// EventHook, when set, is called with every emitted event after the
 	// sink consumed it. Same contract as SampleHook.
 	EventHook func(Event)
+	// HeapScan opts the replay into the heap-topology scanner: on every
+	// timeline sample the allocator's Walker layout is decomposed into
+	// heap.* fragmentation families and an address-space occupancy
+	// heatmap. Walkers are read-only, so scanning never perturbs the
+	// replay; it only costs time proportional to the block count per
+	// sample.
+	HeapScan bool
+	// HeatmapBins is the heatmap's fixed column count (0 uses
+	// DefaultHeatmapBins). Ignored unless HeapScan is set.
+	HeatmapBins int
 }
 
 // Collector bundles a metric registry, a timeline, and an event sink,
@@ -47,6 +57,7 @@ type Collector struct {
 	mem        *MemorySink // non-nil when sink is the default MemorySink
 	sampleHook func(Sample)
 	eventHook  func(Event)
+	heatmap    *heatmapRec // non-nil when HeapScan was requested
 	clock      atomic.Int64
 
 	mu        sync.Mutex
@@ -65,6 +76,9 @@ func NewCollector(opts Options) *Collector {
 	}
 	if opts.TimelineInterval >= 0 {
 		c.timeline = NewTimeline(opts.TimelineInterval)
+	}
+	if opts.HeapScan {
+		c.heatmap = newHeatmapRec(opts.HeatmapBins)
 	}
 	if opts.Sink != nil {
 		c.sink = opts.Sink
@@ -168,6 +182,31 @@ func (c *Collector) RecordSample(s Sample) {
 	}
 }
 
+// HeapScanEnabled reports whether the collector was created with
+// Options.HeapScan (nil-safe: false). The replay loop checks it once to
+// decide whether to attach a layout scanner.
+func (c *Collector) HeapScanEnabled() bool {
+	return c != nil && c.heatmap != nil
+}
+
+// HeatmapBins returns the heatmap's configured column count (0 when heap
+// scanning is off).
+func (c *Collector) HeatmapBins() int {
+	if c == nil || c.heatmap == nil {
+		return 0
+	}
+	return c.heatmap.bins
+}
+
+// RecordHeatmapRow appends one address-space occupancy row; a no-op
+// unless the collector was created with HeapScan.
+func (c *Collector) RecordHeatmapRow(r HeatmapRow) {
+	if c == nil || c.heatmap == nil {
+		return
+	}
+	c.heatmap.record(r)
+}
+
 // MarkPhase snapshots every counter under a phase label; core marks
 // replay quartiles so lpstats can show how counts accrued across a run.
 func (c *Collector) MarkPhase(label string) {
@@ -224,6 +263,9 @@ func (c *Collector) Snapshot() *Snapshot {
 	if c.timeline != nil {
 		s.Timeline = c.timeline.Samples()
 		s.TimelineInterval = c.timeline.Interval()
+	}
+	if c.heatmap != nil {
+		s.Heatmap = c.heatmap.snapshot()
 	}
 	if c.mem != nil {
 		s.Events = EventSummary{
@@ -287,6 +329,12 @@ type Snapshot struct {
 
 	Timeline         []Sample `json:"timeline,omitempty"`
 	TimelineInterval int64    `json:"timeline_interval,omitempty"`
+
+	// Heatmap is the address-space occupancy heatmap; non-nil exactly
+	// when the replay ran with the heap-topology scanner enabled (a
+	// scanned run that never sampled still carries an empty heatmap, so
+	// "no fragmentation" and "scanner off" stay distinguishable).
+	Heatmap *Heatmap `json:"heatmap,omitempty"`
 
 	Events EventSummary    `json:"events"`
 	Phases []PhaseSnapshot `json:"phases,omitempty"`

@@ -17,6 +17,10 @@
 //   - per-site mispredictions    → lp_pred_site_fp_bytes,
 //     lp_pred_site_fp_cost_bytelife, lp_pred_site_fn_bytes, each with a
 //     site="..." label per attributed call-chain
+//   - address-space heatmap      → lp_heap_heatmap_bins / _rows (always
+//     present when the heap scanner ran, even with zero rows) plus
+//     lp_heap_heatmap_extent_bytes and
+//     lp_heap_heatmap_live_bytes{bin="..."} from the freshest row
 //
 // Rendering is canonical — families sorted by name, label keys sorted,
 // shortest float formatting — so Write → Parse → WriteFamilies reproduces
@@ -179,6 +183,44 @@ func Families(s *obs.Snapshot, extra map[string]string) []Family {
 		Help:    "raw events dropped from the collector's bounded event window",
 		Metrics: []Metric{{Labels: labels, Value: float64(s.Events.Dropped)}},
 	})
+	if s.Heatmap != nil {
+		// The heatmap families render whenever the scanner ran — zero rows
+		// expose as zeros, not absence, matching the dropped-events
+		// convention. The per-bin family carries the freshest row so a live
+		// scrape shows the current address-space occupancy profile.
+		fams = append(fams,
+			Family{
+				Name: "lp_heap_heatmap_bins", Type: "gauge",
+				Help:    "address-space heatmap column count",
+				Metrics: []Metric{{Labels: labels, Value: float64(s.Heatmap.Bins)}},
+			},
+			Family{
+				Name: "lp_heap_heatmap_rows", Type: "counter",
+				Help:    "address-space heatmap rows recorded so far",
+				Metrics: []Metric{{Labels: labels, Value: float64(len(s.Heatmap.Rows))}},
+			})
+		if n := len(s.Heatmap.Rows); n > 0 {
+			last := s.Heatmap.Rows[n-1]
+			ms := make([]Metric, 0, len(last.Cells))
+			for i, c := range last.Cells {
+				ms = append(ms, Metric{
+					Labels: withLabel(labels, "bin", strconv.Itoa(i)),
+					Value:  float64(c),
+				})
+			}
+			fams = append(fams,
+				Family{
+					Name: "lp_heap_heatmap_extent_bytes", Type: "gauge",
+					Help:    "packed address-space bytes the latest heatmap row covers",
+					Metrics: []Metric{{Labels: labels, Value: float64(last.Extent)}},
+				},
+				Family{
+					Name: "lp_heap_heatmap_live_bytes", Type: "gauge",
+					Help:    "live-block bytes per address-space bin in the latest heatmap row",
+					Metrics: ms,
+				})
+		}
+	}
 	if len(s.PredSites) > 0 {
 		fp := make([]Metric, 0, len(s.PredSites))
 		cost := make([]Metric, 0, len(s.PredSites))

@@ -235,3 +235,88 @@ func TestMetricName(t *testing.T) {
 
 // Family is re-exported for the clash test's literal.
 type Family = expfmt.Family
+
+// heatSnapshot builds a heap-scanned snapshot with a populated heatmap.
+func heatSnapshot() *obs.Snapshot {
+	c := obs.NewCollector(obs.Options{Label: "gawk/firstfit", HeapScan: true, HeatmapBins: 3})
+	c.Counter("heap.scan_samples").Add(2)
+	c.Gauge("heap.live_payload_bytes").Set(96)
+	c.SetClock(200)
+	c.RecordHeatmapRow(obs.HeatmapRow{Clock: 100, Extent: 128, Cells: []int64{64, 32, 0}})
+	c.RecordHeatmapRow(obs.HeatmapRow{Clock: 200, Extent: 256, Cells: []int64{80, 16, 0}})
+	s := c.Snapshot()
+	s.Program = "gawk"
+	s.Allocator = "firstfit"
+	return s
+}
+
+func TestHeatmapExposition(t *testing.T) {
+	var buf bytes.Buffer
+	if err := expfmt.Write(&buf, heatSnapshot()); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		`# TYPE lp_heap_heatmap_bins gauge`,
+		`lp_heap_heatmap_bins{allocator="firstfit",program="gawk"} 3`,
+		`# TYPE lp_heap_heatmap_rows counter`,
+		`lp_heap_heatmap_rows{allocator="firstfit",program="gawk"} 2`,
+		// Extent and per-bin density report the latest row.
+		`lp_heap_heatmap_extent_bytes{allocator="firstfit",program="gawk"} 256`,
+		`lp_heap_heatmap_live_bytes{allocator="firstfit",bin="0",program="gawk"} 80`,
+		`lp_heap_heatmap_live_bytes{allocator="firstfit",bin="1",program="gawk"} 16`,
+		`lp_heap_heatmap_live_bytes{allocator="firstfit",bin="2",program="gawk"} 0`,
+	} {
+		if !strings.Contains(text, want+"\n") {
+			t.Errorf("exposition missing line %q\n--- got ---\n%s", want, text)
+		}
+	}
+
+	// Byte-exact round trip must hold for the new families too.
+	fams, err := expfmt.Parse(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	var out bytes.Buffer
+	if err := expfmt.WriteFamilies(&out, fams); err != nil {
+		t.Fatalf("WriteFamilies: %v", err)
+	}
+	if out.String() != text {
+		t.Error("heatmap families do not round trip byte-exactly")
+	}
+}
+
+// TestHeatmapExpositionEmpty pins the always-on-zero convention: an
+// enabled scanner that never sampled still exposes the bins/rows pair (so
+// a scrape can tell "no rows yet" from "scanner off"), but no per-bin or
+// extent series.
+func TestHeatmapExpositionEmpty(t *testing.T) {
+	c := obs.NewCollector(obs.Options{Label: "x", HeapScan: true, HeatmapBins: 5})
+	var buf bytes.Buffer
+	if err := expfmt.Write(&buf, c.Snapshot()); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		`lp_heap_heatmap_bins 5`,
+		`lp_heap_heatmap_rows 0`,
+	} {
+		if !strings.Contains(text, want+"\n") {
+			t.Errorf("empty-heatmap exposition missing %q\n--- got ---\n%s", want, text)
+		}
+	}
+	for _, absent := range []string{"lp_heap_heatmap_extent_bytes", "lp_heap_heatmap_live_bytes"} {
+		if strings.Contains(text, absent) {
+			t.Errorf("empty-heatmap exposition carries %s", absent)
+		}
+	}
+
+	// Scanner off: no lp_heap_heatmap_* families at all.
+	var off bytes.Buffer
+	if err := expfmt.Write(&off, obs.NewCollector(obs.Options{Label: "x"}).Snapshot()); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if strings.Contains(off.String(), "lp_heap_heatmap") {
+		t.Error("scanner-off exposition mentions heatmap families")
+	}
+}

@@ -45,6 +45,9 @@ var timelineHeader = []string{
 	"clock", "live_bytes", "live_objects", "heap_bytes", "arena_occupancy",
 	"pred_decided_objects", "pred_correct_objects",
 	"pred_decided_bytes", "pred_correct_bytes",
+	"heap_live_payload", "heap_header_bytes", "heap_internal_frag",
+	"heap_external_frag", "heap_hole_bytes", "heap_free_spans",
+	"heap_largest_free_span",
 }
 
 // WriteTimelineCSV writes the snapshot's timeline as CSV with a header
@@ -70,6 +73,13 @@ func WriteTimelineCSV(w io.Writer, s *Snapshot) error {
 			strconv.FormatInt(sm.PredCorrectObjects, 10),
 			strconv.FormatInt(sm.PredDecidedBytes, 10),
 			strconv.FormatInt(sm.PredCorrectBytes, 10),
+			strconv.FormatInt(sm.HeapLivePayload, 10),
+			strconv.FormatInt(sm.HeapHeaderBytes, 10),
+			strconv.FormatInt(sm.HeapInternalFrag, 10),
+			strconv.FormatInt(sm.HeapExternalFrag, 10),
+			strconv.FormatInt(sm.HeapHoleBytes, 10),
+			strconv.FormatInt(sm.HeapFreeSpans, 10),
+			strconv.FormatInt(sm.HeapLargestFreeSpan, 10),
 		}
 		if err := cw.Write(rec); err != nil {
 			return err
@@ -100,6 +110,9 @@ func ReadTimelineCSV(r io.Reader) ([]Sample, error) {
 			&sm.Clock, &sm.LiveBytes, &sm.LiveObjects, &sm.HeapBytes, nil,
 			&sm.PredDecidedObjects, &sm.PredCorrectObjects,
 			&sm.PredDecidedBytes, &sm.PredCorrectBytes,
+			&sm.HeapLivePayload, &sm.HeapHeaderBytes, &sm.HeapInternalFrag,
+			&sm.HeapExternalFrag, &sm.HeapHoleBytes, &sm.HeapFreeSpans,
+			&sm.HeapLargestFreeSpan,
 		}
 		for col, dst := range ints {
 			if dst == nil {
@@ -114,6 +127,81 @@ func ReadTimelineCSV(r io.Reader) ([]Sample, error) {
 		out = append(out, sm)
 	}
 	return out, nil
+}
+
+// WriteHeatmapCSV writes the snapshot's address-space occupancy heatmap
+// as CSV: a header row (clock, extent, then one column per bin), one row
+// per sampled timeline point, each bin cell holding the live-block bytes
+// that fall in it. A nil or empty heatmap yields a header-only file —
+// matching the timeline-CSV convention — so "no rows" and "malformed
+// file" stay distinguishable downstream.
+func WriteHeatmapCSV(w io.Writer, s *Snapshot) error {
+	if s == nil {
+		return fmt.Errorf("obs: nil snapshot")
+	}
+	bins := 0
+	if s.Heatmap != nil {
+		bins = s.Heatmap.Bins
+	}
+	header := make([]string, 0, 2+bins)
+	header = append(header, "clock", "extent")
+	for i := 0; i < bins; i++ {
+		header = append(header, "bin"+strconv.Itoa(i))
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	if s.Heatmap != nil {
+		for _, row := range s.Heatmap.Rows {
+			rec := make([]string, 0, 2+bins)
+			rec = append(rec,
+				strconv.FormatInt(row.Clock, 10),
+				strconv.FormatInt(row.Extent, 10))
+			for i := 0; i < bins; i++ {
+				var c int64
+				if i < len(row.Cells) {
+					c = row.Cells[i]
+				}
+				rec = append(rec, strconv.FormatInt(c, 10))
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadHeatmapCSV reads a heatmap written by WriteHeatmapCSV.
+func ReadHeatmapCSV(r io.Reader) (*Heatmap, error) {
+	cr := csv.NewReader(r)
+	recs, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("obs: reading heatmap CSV: %w", err)
+	}
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("obs: heatmap CSV missing header")
+	}
+	if len(recs[0]) < 2 || recs[0][0] != "clock" || recs[0][1] != "extent" {
+		return nil, fmt.Errorf("obs: unexpected heatmap CSV header %v", recs[0])
+	}
+	h := &Heatmap{Bins: len(recs[0]) - 2}
+	for i, rec := range recs[1:] {
+		row := HeatmapRow{Cells: make([]int64, h.Bins)}
+		if row.Clock, err = strconv.ParseInt(rec[0], 10, 64); err == nil {
+			row.Extent, err = strconv.ParseInt(rec[1], 10, 64)
+		}
+		for b := 0; err == nil && b < h.Bins; b++ {
+			row.Cells[b], err = strconv.ParseInt(rec[2+b], 10, 64)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("obs: heatmap CSV row %d: %w", i+2, err)
+		}
+		h.Rows = append(h.Rows, row)
+	}
+	return h, nil
 }
 
 // WriteCountersCSV writes every counter (and each gauge's value and max)

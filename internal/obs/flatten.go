@@ -39,6 +39,13 @@ func (s *Snapshot) Flatten() map[string]float64 {
 	// Sink overflow is surfaced unconditionally (usually 0) so a capped
 	// raw-event window is visible rather than a silent truncation.
 	out["obs.dropped_events"] = float64(s.Events.Dropped)
+	if s.Heatmap != nil {
+		// Scalar fingerprints of the heatmap, named under heap. so the
+		// lpbench -only heap. filter and the FRAG_seed gates cover them.
+		out["heap.heatmap.bins"] = float64(s.Heatmap.Bins)
+		out["heap.heatmap.rows"] = float64(len(s.Heatmap.Rows))
+		out["heap.heatmap.cells_sum"] = float64(s.Heatmap.CellsSum())
+	}
 	return out
 }
 

@@ -23,6 +23,19 @@ type Sample struct {
 	PredCorrectObjects int64 `json:"pred_correct_objects,omitempty"`
 	PredDecidedBytes   int64 `json:"pred_decided_bytes,omitempty"`
 	PredCorrectBytes   int64 `json:"pred_correct_bytes,omitempty"`
+
+	// Heap-topology channel, filled only when the replay runs with the
+	// heap scanner enabled. The decomposition identity
+	// live_payload + header + internal + external + holes == HeapBytes
+	// holds at every scanned sample (the Walker contract makes region
+	// extents sum to HeapSize).
+	HeapLivePayload     int64 `json:"heap_live_payload,omitempty"`
+	HeapHeaderBytes     int64 `json:"heap_header_bytes,omitempty"`
+	HeapInternalFrag    int64 `json:"heap_internal_frag,omitempty"`
+	HeapExternalFrag    int64 `json:"heap_external_frag,omitempty"`
+	HeapHoleBytes       int64 `json:"heap_hole_bytes,omitempty"`
+	HeapFreeSpans       int64 `json:"heap_free_spans,omitempty"`
+	HeapLargestFreeSpan int64 `json:"heap_largest_free_span,omitempty"`
 }
 
 // DefaultTimelineInterval is the default sampling cadence: one sample per
