@@ -37,12 +37,15 @@ func main() {
 	out := flag.String("o", "-", "output bench JSON file, - for stdout")
 	only := flag.String("only", "", "keep only metrics whose name starts with this prefix (e.g. pred.)")
 	heapScan := flag.Bool("heapscan", false, "walk each allocator's span layout at every timeline sample, adding the deterministic heap.* fragmentation families")
+	startProfiles := cliutil.ProfileFlags(name)
 	cliutil.Parse(name,
 		"run the simulation matrix and emit a deterministic bench JSON file",
 		"lpbench -label seed -o BENCH_seed.json",
 		"lpbench -only pred. -label accuracy-seed -o ACCURACY_seed.json",
 		"lpbench -heapscan -only heap. -label frag-seed -o FRAG_seed.json",
-		"lpbench -o new.json && lpdiff -threshold sim_bytes_per_op+10% BENCH_seed.json new.json")
+		"lpbench -o new.json && lpdiff -threshold sim_bytes_per_op+10% BENCH_seed.json new.json",
+		"lpbench -matrix gawk/arena -cpuprofile cpu.pprof -memprofile mem.pprof -o -")
+	defer startProfiles()()
 
 	jobs, err := core.ParseMatrix(*matrixSpec)
 	if err != nil {

@@ -310,6 +310,13 @@ func loadMetrics(path string) (string, map[string]float64, error) {
 // becomes _per_, giving keys like
 // BenchmarkRunSimStreaming/gawk/arena/1x/allocs_per_op that the
 // suffix-matching threshold grammar can gate across the whole matrix.
+//
+// A benchmark that reports both ns/op and an events/op custom metric
+// additionally yields a derived ns_per_event = ns_per_op / events_per_op
+// key. Per-op wall clock moves whenever a benchmark's batch size does,
+// so gating it couples the gate to benchmark structure; per-event cost
+// is the number that means "the replay engine got slower" regardless of
+// how many events one iteration happens to process.
 func parseGoBench(data []byte) (string, map[string]float64, error) {
 	metrics := map[string]float64{}
 	label := "go-bench text"
@@ -343,6 +350,19 @@ func parseGoBench(data []byte) (string, map[string]float64, error) {
 	}
 	if len(metrics) == 0 {
 		return "", nil, fmt.Errorf("no go-bench result lines found")
+	}
+	derived := map[string]float64{}
+	for k, ev := range metrics {
+		base, ok := strings.CutSuffix(k, "/events_per_op")
+		if !ok || ev <= 0 {
+			continue
+		}
+		if ns, ok := metrics[base+"/ns_per_op"]; ok {
+			derived[base+"/ns_per_event"] = ns / ev
+		}
+	}
+	for k, v := range derived {
+		metrics[k] = v
 	}
 	return label, metrics, nil
 }

@@ -127,6 +127,35 @@ func TestLoadMetricsSniffsBothFormats(t *testing.T) {
 	}
 }
 
+func TestParseGoBenchDerivesNsPerEvent(t *testing.T) {
+	out := `goos: linux
+pkg: repro
+BenchmarkRunSimStreaming/gawk/arena/10x-8    205   5000000 ns/op   50.0 Mevents/s   250000 events/op   141900 B/op   204 allocs/op
+BenchmarkNoEvents-8                          100   1000 ns/op   16 B/op   1 allocs/op
+`
+	label, m, err := parseGoBench([]byte(out))
+	if err != nil {
+		t.Fatalf("parseGoBench: %v", err)
+	}
+	if label != "go-bench repro" {
+		t.Errorf("label = %q", label)
+	}
+	const key = "BenchmarkRunSimStreaming/gawk/arena/10x/ns_per_event"
+	if got := m[key]; got != 20 {
+		t.Errorf("%s = %v, want 20", key, got)
+	}
+	if _, ok := m["BenchmarkNoEvents/ns_per_event"]; ok {
+		t.Error("ns_per_event derived for a benchmark without events/op")
+	}
+	// The derived key must be gateable through the suffix grammar.
+	vs := checkThresholds(
+		diff(map[string]float64{key: 10}, m),
+		[]threshold{{Name: "ns_per_event", Pct: 50, Up: true}})
+	if len(vs) != 1 {
+		t.Errorf("ns_per_event gate produced %v, want one violation", vs)
+	}
+}
+
 func TestDiff(t *testing.T) {
 	d := diff(map[string]float64{"a": 1, "b": 2}, map[string]float64{"b": 3, "c": 4})
 	if len(d) != 3 {

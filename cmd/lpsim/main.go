@@ -46,10 +46,13 @@ func main() {
 	obsInterval := flag.Int64("obs-interval", 0, "timeline sampling cadence in bytes allocated (0 = default 64KB)")
 	heapScan := flag.Bool("heapscan", false, "with -obs: walk the allocator's span layout at every timeline sample, decomposing fragmentation (heap.* families) and recording an address-space heatmap")
 	heatmapBins := flag.Int("heatmap-bins", 0, "address-space heatmap column count (0 = default 32); needs -heapscan")
+	startProfiles := cliutil.ProfileFlags(name)
 	cliutil.Parse(name,
 		"replay an allocation trace through an allocator simulator",
 		"lpsim -trace test.trc -alloc arena -sites sites.json [-obs metrics.json]",
-		"lpsim -trace test.trc -alloc firstfit -obs metrics.json -heapscan")
+		"lpsim -trace test.trc -alloc firstfit -obs metrics.json -heapscan",
+		"lpsim -trace test.trc -alloc arena -cpuprofile cpu.pprof")
+	defer startProfiles()()
 
 	if *tracePath == "" {
 		cliutil.UsageError(name, "missing -trace")

@@ -28,6 +28,7 @@ import (
 
 	"repro/internal/callchain"
 	"repro/internal/heapsim"
+	"repro/internal/profile"
 	"repro/internal/trace"
 )
 
@@ -45,6 +46,11 @@ type Options struct {
 	// DeadSample is how many recently-freed object ids the ledger
 	// retains for negative liveness probes (default 32).
 	DeadSample int
+	// Predictor, when non-nil, is threaded through the block/scalar
+	// equivalence replay (CheckBlockEquivalence) so the pred.* accuracy
+	// families are part of what must match. Unlike Predict it carries the
+	// trained site database the real replay engine consumes.
+	Predictor *profile.Predictor
 }
 
 func (o Options) deadSample() int {

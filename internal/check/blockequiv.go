@@ -1,0 +1,65 @@
+package check
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/profile"
+	"repro/internal/trace"
+)
+
+// CheckBlockEquivalence proves the batched replay path is observationally
+// identical to the scalar one: for every factory it replays tr twice —
+// once through core.RunSimSource (the block-driven engine) and once
+// through core.RunSimSourceScalar (the retained event-at-a-time oracle) —
+// and requires exact agreement on the SimResult and on the full observed
+// snapshot, serialized to JSON and compared byte for byte. That covers
+// every counter, histogram, timeline sample, phase mark, and pred.*
+// accuracy family, so any drift the batching could introduce (a
+// mis-offset event index, a dropped observation at a block boundary, a
+// reordered prediction) fails loudly instead of skewing results.
+//
+// pred may be nil (no prediction) — pass one to also exercise the
+// predicted-short plumbing and the pred.* confusion families.
+func CheckBlockEquivalence(tr *trace.Trace, fs []Factory, pred *profile.Predictor) error {
+	for _, f := range fs {
+		run := func(scalar bool) (core.SimResult, []byte, error) {
+			col := obs.NewCollector(obs.Options{Label: "blockequiv/" + f.Name})
+			src := trace.NewSliceSource(tr)
+			var res core.SimResult
+			var err error
+			if scalar {
+				res, err = core.RunSimSourceScalar(src, f.New(), pred, col)
+			} else {
+				res, err = core.RunSimSource(src, f.New(), pred, col)
+			}
+			if err != nil {
+				return res, nil, err
+			}
+			var buf bytes.Buffer
+			if err := obs.WriteJSON(&buf, col.Snapshot()); err != nil {
+				return res, nil, err
+			}
+			return res, buf.Bytes(), nil
+		}
+		sres, ssnap, serr := run(true)
+		bres, bsnap, berr := run(false)
+		// The two paths must agree on failure too: same error or none.
+		if (serr == nil) != (berr == nil) || (serr != nil && serr.Error() != berr.Error()) {
+			return fmt.Errorf("%s: block/scalar error divergence: scalar=%v block=%v", f.Name, serr, berr)
+		}
+		if serr != nil {
+			continue
+		}
+		if !reflect.DeepEqual(sres, bres) {
+			return fmt.Errorf("%s: SimResult diverged between scalar and block replay:\nscalar: %+v\nblock:  %+v", f.Name, sres, bres)
+		}
+		if !bytes.Equal(ssnap, bsnap) {
+			return fmt.Errorf("%s: observed snapshot diverged between scalar and block replay (%d vs %d bytes)", f.Name, len(ssnap), len(bsnap))
+		}
+	}
+	return nil
+}

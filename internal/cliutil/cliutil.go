@@ -8,6 +8,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 )
 
 // Version identifies the tool suite; every tool's -version flag prints
@@ -36,6 +38,57 @@ func Parse(name, synopsis string, examples ...string) {
 	if *version {
 		fmt.Printf("%s %s\n", name, Version)
 		exit(0)
+	}
+}
+
+// ProfileFlags registers the shared -cpuprofile and -memprofile flags
+// for tools whose runs are worth profiling (lpsim, lpbench). Register
+// before Parse, like any flag; after Parse, invoke the returned start
+// function and defer the stop it hands back:
+//
+//	startProfiles := cliutil.ProfileFlags(name)
+//	cliutil.Parse(name, ...)
+//	defer startProfiles()()
+//
+// With neither flag set, both functions are no-ops. CPU profiling covers
+// everything between start and stop; the heap profile is written at stop
+// after a forced GC, so it reports live retention rather than transient
+// garbage. Profile-file errors are fatal — a profiling run that silently
+// drops its profile is worse than one that fails.
+func ProfileFlags(name string) func() func() {
+	cpu := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	mem := flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
+	return func() func() {
+		var cpuFile *os.File
+		if *cpu != "" {
+			f, err := os.Create(*cpu)
+			if err != nil {
+				Fatal(name, err)
+			}
+			if err := pprof.StartCPUProfile(f); err != nil {
+				f.Close()
+				Fatal(name, err)
+			}
+			cpuFile = f
+		}
+		return func() {
+			if cpuFile != nil {
+				pprof.StopCPUProfile()
+				cpuFile.Close()
+			}
+			if *mem != "" {
+				f, err := os.Create(*mem)
+				if err != nil {
+					Fatal(name, err)
+				}
+				runtime.GC()
+				if err := pprof.WriteHeapProfile(f); err != nil {
+					f.Close()
+					Fatal(name, err)
+				}
+				f.Close()
+			}
+		}
 	}
 }
 

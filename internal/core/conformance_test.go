@@ -1,9 +1,10 @@
-package core
+package core_test
 
 import (
 	"testing"
 
 	"repro/internal/check"
+	"repro/internal/core"
 	"repro/internal/heapsim"
 	"repro/internal/synth"
 	"repro/internal/trace"
@@ -19,7 +20,7 @@ func TestExperimentWiringPassesConformance(t *testing.T) {
 	if testing.Short() {
 		t.Skip("conformance replay of a model trace is slow in -short mode")
 	}
-	cfg := DefaultConfig(0.002)
+	cfg := core.DefaultConfig(0.002)
 	a, err := cfg.Build(synth.ByName("ghost"))
 	if err != nil {
 		t.Fatal(err)

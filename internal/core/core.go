@@ -522,20 +522,98 @@ func RunSimSource(src trace.Source, alloc heapsim.Allocator, pred *profile.Predi
 	if pred != nil {
 		mapper = pred.NewMapper(src.Table())
 	}
-	var ot *obsTracker
-	if col := pickCollector(observers); col != nil {
-		n := 0
-		if c, ok := src.(trace.Counted); ok {
-			if cnt, known := c.EventCount(); known {
-				n = cnt
+	ot := trackerFor(src, alloc, mapper, observers)
+	res := SimResult{}
+	// The replay runs on the block path: block-native sources (binary
+	// readers, synth generators, column views) hand over DefaultBlockLen
+	// events per NextBlock call, scalar sources go through the adapter,
+	// and the inner loop walks the columns with plain index arithmetic —
+	// no interface dispatch, no 40-byte struct copies per event. Event
+	// indices in errors stay global (base counts completed blocks), and
+	// the tracker still steps per event, so phase marks, timeline
+	// cadence, and prediction scoring land on exactly the same events as
+	// the scalar reference replay.
+	bs := trace.AsBlockSource(src)
+	blk := trace.NewEventBlock(trace.DefaultBlockLen)
+	for base := 0; ; base += blk.N {
+		err := bs.NextBlock(blk)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return res, err
+		}
+		n := blk.N
+		kinds, objs, sizes, chains := blk.Kinds[:n], blk.Objs[:n], blk.Sizes[:n], blk.Chains[:n]
+		for k := 0; k < n; k++ {
+			switch kinds[k] {
+			case trace.KindAlloc:
+				short := false
+				if mapper != nil {
+					// The loop's own decision is reused for quality
+					// tracking; asking the mapper twice would double its
+					// site-usage accounting.
+					short = mapper.PredictShort(chains[k], sizes[k])
+				}
+				if err := alloc.Alloc(objs[k], sizes[k], short); err != nil {
+					return res, fmt.Errorf("core: event %d: %w", base+k, err)
+				}
+				res.TotalAllocs++
+				res.TotalBytes += sizes[k]
+				if ot != nil {
+					ot.step(blk.Event(k), short)
+				}
+			case trace.KindFree:
+				if err := alloc.Free(objs[k]); err != nil {
+					return res, fmt.Errorf("core: event %d: %w", base+k, err)
+				}
+				if ot != nil {
+					ot.step(blk.Event(k), false)
+				}
+			default:
+				return res, fmt.Errorf("core: event %d: bad kind %d", base+k, kinds[k])
 			}
 		}
-		thr := profile.DefaultConfig().ShortThreshold
-		if mapper != nil {
-			thr = mapper.ShortThreshold()
-		}
-		ot = newObsTracker(col, alloc, n, thr)
 	}
+	finishSim(&res, alloc)
+	if ot != nil {
+		res.Obs = ot.finish(src.Meta().Program, src.Table())
+	}
+	return res, nil
+}
+
+// trackerFor builds the replay's obsTracker when a collector is attached,
+// resolving the event count (for phase marks) and the short threshold the
+// predictions are scored against. Shared by the block and scalar replays.
+func trackerFor(src trace.Source, alloc heapsim.Allocator, mapper *profile.Mapper, observers []*obs.Collector) *obsTracker {
+	col := pickCollector(observers)
+	if col == nil {
+		return nil
+	}
+	n := 0
+	if c, ok := src.(trace.Counted); ok {
+		if cnt, known := c.EventCount(); known {
+			n = cnt
+		}
+	}
+	thr := profile.DefaultConfig().ShortThreshold
+	if mapper != nil {
+		thr = mapper.ShortThreshold()
+	}
+	return newObsTracker(col, alloc, n, thr)
+}
+
+// RunSimSourceScalar is the one-event-at-a-time reference replay — the
+// exact loop RunSimSource ran before the columnar refactor. It is kept
+// (and exercised by the conformance harness) as the oracle the block
+// path is differentially tested against: for any source, both replays
+// must produce byte-identical SimResults and snapshots.
+func RunSimSourceScalar(src trace.Source, alloc heapsim.Allocator, pred *profile.Predictor, observers ...*obs.Collector) (SimResult, error) {
+	var mapper *profile.Mapper
+	if pred != nil {
+		mapper = pred.NewMapper(src.Table())
+	}
+	ot := trackerFor(src, alloc, mapper, observers)
 	res := SimResult{}
 	for i := 0; ; i++ {
 		ev, err := src.Next()
@@ -549,9 +627,6 @@ func RunSimSource(src trace.Source, alloc heapsim.Allocator, pred *profile.Predi
 		switch ev.Kind {
 		case trace.KindAlloc:
 			if mapper != nil {
-				// The loop's own decision is reused for quality tracking;
-				// asking the mapper twice would double its site-usage
-				// accounting.
 				short = mapper.PredictShort(ev.Chain, ev.Size)
 			}
 			if err := alloc.Alloc(ev.Obj, ev.Size, short); err != nil {

@@ -258,6 +258,57 @@ func TestDiffGate(t *testing.T) {
 	}
 }
 
+// TestProfileFlags replays a trace under -cpuprofile/-memprofile and
+// requires both pprof files to land non-empty, with the simulation
+// output unchanged — profiling must observe the run, not perturb it.
+func TestProfileFlags(t *testing.T) {
+	bin := bins(t)
+	dir := t.TempDir()
+	trc := filepath.Join(dir, "t.trc")
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+
+	if _, stderr, code := run(t, bin, "lpgen",
+		"-program", "gawk", "-input", "test", "-scale", "0.02", "-seed", "4", "-o", trc); code != 0 {
+		t.Fatalf("lpgen exited %d: %s", code, stderr)
+	}
+	plain, stderr, code := run(t, bin, "lpsim", "-trace", trc, "-alloc", "arena")
+	if code != 0 {
+		t.Fatalf("lpsim exited %d: %s", code, stderr)
+	}
+	profiled, stderr, code := run(t, bin, "lpsim",
+		"-trace", trc, "-alloc", "arena", "-cpuprofile", cpu, "-memprofile", mem)
+	if code != 0 {
+		t.Fatalf("profiled lpsim exited %d: %s", code, stderr)
+	}
+	if profiled != plain {
+		t.Errorf("profiling changed lpsim output:\nplain:\n%s\nprofiled:\n%s", plain, profiled)
+	}
+	for _, p := range []string{cpu, mem} {
+		// pprof files are gzip-compressed protobufs; the two magic bytes
+		// are enough to prove a real profile was written, not an empty
+		// or truncated file.
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatalf("profile %s: %v", p, err)
+		}
+		if len(data) < 2 || data[0] != 0x1f || data[1] != 0x8b {
+			t.Errorf("profile %s is not a gzipped pprof file (%d bytes)", p, len(data))
+		}
+	}
+
+	// lpbench shares the same flags through cliutil.
+	memB := filepath.Join(dir, "bench-mem.pprof")
+	if _, stderr, code := run(t, bin, "lpbench",
+		"-matrix", "gawk/arena/true", "-scale", "0.01", "-o", filepath.Join(dir, "b.json"),
+		"-memprofile", memB); code != 0 {
+		t.Fatalf("lpbench with -memprofile exited %d: %s", code, stderr)
+	}
+	if data, err := os.ReadFile(memB); err != nil || len(data) < 2 || data[0] != 0x1f || data[1] != 0x8b {
+		t.Errorf("lpbench heap profile missing or malformed (err=%v)", err)
+	}
+}
+
 // TestBenchDeterminism runs lpbench twice with identical arguments and
 // requires byte-identical output — the property that makes a committed
 // BENCH_seed.json a usable cross-machine baseline.

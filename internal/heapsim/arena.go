@@ -36,7 +36,7 @@ type Arena struct {
 	initialized bool
 	arenas      []arenaState
 	current     int
-	where       map[trace.ObjectID]arenaLoc // arena objects only
+	where       objIndex[arenaLoc] // arena objects only
 	ops         OpCounts
 	obs         *arenaObs // nil unless a collector is attached
 }
@@ -91,7 +91,6 @@ func (a *Arena) init() {
 		a.General = &FirstFit{name: "arena", prefix: "firstfit"}
 	}
 	a.arenas = make([]arenaState, a.NumArenas)
-	a.where = make(map[trace.ObjectID]arenaLoc)
 	a.initialized = true
 }
 
@@ -160,14 +159,14 @@ func (a *Arena) Alloc(id trace.ObjectID, size int64, predictedShort bool) error 
 
 // bump places the object in the current arena.
 func (a *Arena) bump(id trace.ObjectID, size int64) error {
-	if _, dup := a.where[id]; dup {
+	if _, dup := a.where.get(id); dup {
 		return errDoubleAlloc("arena", id)
 	}
-	if _, live := a.General.live[id]; live {
+	if _, live := a.General.live.get(id); live {
 		return errDoubleAlloc("arena", id)
 	}
 	st := &a.arenas[a.current]
-	a.where[id] = arenaLoc{idx: a.current, off: st.used, size: size}
+	a.where.put(id, arenaLoc{idx: a.current, off: st.used, size: size})
 	st.used += size
 	st.count++
 	a.ops.Allocs++
@@ -185,7 +184,7 @@ func (a *Arena) bump(id trace.ObjectID, size int64) error {
 
 // generalAlloc places the object in the fallback heap.
 func (a *Arena) generalAlloc(id trace.ObjectID, size int64, fallback bool) error {
-	if _, dup := a.where[id]; dup {
+	if _, dup := a.where.get(id); dup {
 		return errDoubleAlloc("arena", id)
 	}
 	if err := a.General.Alloc(id, size, false); err != nil {
@@ -206,8 +205,7 @@ func (a *Arena) generalAlloc(id trace.ObjectID, size int64, fallback bool) error
 // of compares).
 func (a *Arena) Free(id trace.ObjectID) error {
 	a.init()
-	if loc, ok := a.where[id]; ok {
-		delete(a.where, id)
+	if loc, ok := a.where.del(id); ok {
 		st := &a.arenas[loc.idx]
 		if st.count <= 0 {
 			return fmt.Errorf("heapsim: arena %d count underflow freeing %d", loc.idx, id)
@@ -260,7 +258,7 @@ func (a *Arena) Counts() OpCounts {
 // the first-fit address space starting at 0.
 func (a *Arena) Addr(id trace.ObjectID) (int64, bool) {
 	a.init()
-	if loc, ok := a.where[id]; ok {
+	if loc, ok := a.where.get(id); ok {
 		return ArenaBase + int64(loc.idx)*a.ArenaSize + loc.off, true
 	}
 	return a.General.Addr(id)

@@ -45,7 +45,7 @@ func (b *BestFit) Alloc(id trace.ObjectID, size int64, _ bool) error {
 	if size <= 0 {
 		return fmt.Errorf("heapsim: non-positive allocation size %d", size)
 	}
-	if _, dup := b.ff.live[id]; dup {
+	if _, dup := b.ff.live.get(id); dup {
 		return errDoubleAlloc(b.ff.name, id)
 	}
 	b.ff.ops.Allocs++
@@ -106,7 +106,7 @@ func (b *BestFit) commit(id trace.ObjectID, size, need int64, blk *ffBlock) erro
 	}
 	blk.free = false
 	blk.payload = size
-	ff.live[id] = blk
+	ff.live.put(id, blk)
 	ff.liveBytes += size
 	return nil
 }

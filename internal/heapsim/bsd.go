@@ -26,8 +26,11 @@ type BSD struct {
 	heapEnd     int64
 	liveBytes   int64
 
-	freeLists map[int][]int64 // bucket index -> addresses
-	live      map[trace.ObjectID]bsdObj
+	// freeLists is indexed by bucket (log2 chunk size); bucketFor yields
+	// at most 64, so a fixed array replaces the old map and the hot paths
+	// index it directly.
+	freeLists [65][]int64
+	live      objIndex[bsdObj]
 	ops       OpCounts
 	obs       *bsdObs // nil unless a collector is attached
 }
@@ -65,8 +68,6 @@ func (b *BSD) init() {
 	if b.MinBucket == 0 {
 		b.MinBucket = 4
 	}
-	b.freeLists = make(map[int][]int64)
-	b.live = make(map[trace.ObjectID]bsdObj)
 	b.initialized = true
 }
 
@@ -101,7 +102,7 @@ func (b *BSD) Alloc(id trace.ObjectID, size int64, _ bool) error {
 	if size <= 0 {
 		return fmt.Errorf("heapsim: non-positive allocation size %d", size)
 	}
-	if _, dup := b.live[id]; dup {
+	if _, dup := b.live.get(id); dup {
 		return errDoubleAlloc("bsd", id)
 	}
 	bucket := b.bucketFor(size)
@@ -129,7 +130,7 @@ func (b *BSD) Alloc(id trace.ObjectID, size int64, _ bool) error {
 	}
 	addr := list[len(list)-1]
 	b.freeLists[bucket] = list[:len(list)-1]
-	b.live[id] = bsdObj{addr: addr, bucket: bucket, size: size}
+	b.live.put(id, bsdObj{addr: addr, bucket: bucket, size: size})
 	b.liveBytes += size
 	return nil
 }
@@ -137,11 +138,10 @@ func (b *BSD) Alloc(id trace.ObjectID, size int64, _ bool) error {
 // Free implements Allocator: push the chunk back on its bucket's list.
 func (b *BSD) Free(id trace.ObjectID) error {
 	b.init()
-	o, ok := b.live[id]
+	o, ok := b.live.del(id)
 	if !ok {
 		return errUnknownFree("bsd", id)
 	}
-	delete(b.live, id)
 	b.liveBytes -= o.size
 	b.ops.Frees++
 	b.freeLists[o.bucket] = append(b.freeLists[o.bucket], o.addr)
@@ -160,7 +160,7 @@ func (b *BSD) Counts() OpCounts { return b.ops }
 
 // Addr implements Allocator.
 func (b *BSD) Addr(id trace.ObjectID) (int64, bool) {
-	o, ok := b.live[id]
+	o, ok := b.live.get(id)
 	if !ok {
 		return 0, false
 	}

@@ -48,7 +48,7 @@ type FirstFit struct {
 	freeBlocks int
 	pool       ffBlockPool
 
-	live map[trace.ObjectID]*ffBlock
+	live objIndex[*ffBlock]
 	ops  OpCounts
 }
 
@@ -160,7 +160,6 @@ func (ff *FirstFit) init() {
 	if ff.MinSplit == 0 {
 		ff.MinSplit = 32
 	}
-	ff.live = make(map[trace.ObjectID]*ffBlock)
 	ff.initialized = true
 }
 
@@ -235,7 +234,7 @@ func (ff *FirstFit) Alloc(id trace.ObjectID, size int64, _ bool) error {
 	if size <= 0 {
 		return fmt.Errorf("heapsim: non-positive allocation size %d", size)
 	}
-	if _, dup := ff.live[id]; dup {
+	if _, dup := ff.live.get(id); dup {
 		return errDoubleAlloc(ff.name, id)
 	}
 	ff.ops.Allocs++
@@ -292,7 +291,7 @@ func (ff *FirstFit) Alloc(id trace.ObjectID, size int64, _ bool) error {
 	}
 	b.free = false
 	b.payload = size
-	ff.live[id] = b
+	ff.live.put(id, b)
 	ff.liveBytes += size
 	return nil
 }
@@ -320,11 +319,10 @@ func (ff *FirstFit) search(need int64) *ffBlock {
 // address neighbors.
 func (ff *FirstFit) Free(id trace.ObjectID) error {
 	ff.init()
-	b, ok := ff.live[id]
+	b, ok := ff.live.del(id)
 	if !ok {
 		return errUnknownFree(ff.name, id)
 	}
-	delete(ff.live, id)
 	ff.liveBytes -= b.payload
 	ff.ops.Frees++
 	ff.ops.FFFrees++
@@ -382,7 +380,7 @@ func (ff *FirstFit) MaxHeapSize() int64 { return ff.maxHeapEnd }
 func (ff *FirstFit) LiveBytes() int64 { return ff.liveBytes }
 
 // LiveObjects returns the number of live objects.
-func (ff *FirstFit) LiveObjects() int { return len(ff.live) }
+func (ff *FirstFit) LiveObjects() int { return ff.live.len() }
 
 // FreeBlocks returns the current free-list length.
 func (ff *FirstFit) FreeBlocks() int { return ff.freeBlocks }
@@ -392,7 +390,7 @@ func (ff *FirstFit) Counts() OpCounts { return ff.ops }
 
 // Addr implements Allocator.
 func (ff *FirstFit) Addr(id trace.ObjectID) (int64, bool) {
-	b, ok := ff.live[id]
+	b, ok := ff.live.get(id)
 	if !ok {
 		return 0, false
 	}

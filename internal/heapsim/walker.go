@@ -65,13 +65,14 @@ type Walker interface {
 	Walk(emit func(Span) error) error
 }
 
-// liveByBlock inverts a live map for walking: block pointer -> object id.
-// Built per walk so the hot allocation paths carry no extra bookkeeping.
-func liveByBlock(live map[trace.ObjectID]*ffBlock) map[*ffBlock]trace.ObjectID {
-	inv := make(map[*ffBlock]trace.ObjectID, len(live))
-	for id, b := range live {
+// liveByBlock inverts a live index for walking: block pointer -> object
+// id. Built per walk so the hot allocation paths carry no extra
+// bookkeeping.
+func liveByBlock(live *objIndex[*ffBlock]) map[*ffBlock]trace.ObjectID {
+	inv := make(map[*ffBlock]trace.ObjectID, live.len())
+	live.forEach(func(id trace.ObjectID, b *ffBlock) {
 		inv[b] = id
-	}
+	})
 	return inv
 }
 
@@ -79,7 +80,7 @@ func liveByBlock(live map[trace.ObjectID]*ffBlock) map[*ffBlock]trace.ObjectID {
 // given region name (FirstFit and BestFit share the machinery).
 func walkFF(ff *FirstFit, emit func(Span) error) error {
 	ff.init()
-	inv := liveByBlock(ff.live)
+	inv := liveByBlock(&ff.live)
 	for b := ff.head; b != nil; b = b.aNext {
 		s := Span{Region: "heap", Addr: b.addr, Size: b.size, Free: b.free}
 		if !b.free {
@@ -133,17 +134,21 @@ func (b *BSD) Regions() []Region {
 // bucket's free list, so the two together tile the heap.
 func (b *BSD) Walk(emit func(Span) error) error {
 	b.init()
-	for id, o := range b.live {
-		err := emit(Span{
+	var werr error
+	b.live.forEach(func(id trace.ObjectID, o bsdObj) {
+		if werr != nil {
+			return
+		}
+		werr = emit(Span{
 			Region:  "heap",
 			Addr:    o.addr,
 			Size:    int64(1) << o.bucket,
 			Obj:     id,
 			Payload: o.size,
 		})
-		if err != nil {
-			return err
-		}
+	})
+	if werr != nil {
+		return werr
 	}
 	for bucket, list := range b.freeLists {
 		for _, addr := range list {
@@ -178,19 +183,20 @@ func (a *Arena) Walk(emit func(Span) error) error {
 	if err := a.General.Walk(emit); err != nil {
 		return err
 	}
-	for id, loc := range a.where {
-		err := emit(Span{
+	var werr error
+	a.where.forEach(func(id trace.ObjectID, loc arenaLoc) {
+		if werr != nil {
+			return
+		}
+		werr = emit(Span{
 			Region:  "arena",
 			Addr:    ArenaBase + int64(loc.idx)*a.ArenaSize + loc.off,
 			Size:    loc.size,
 			Obj:     id,
 			Payload: loc.size,
 		})
-		if err != nil {
-			return err
-		}
-	}
-	return nil
+	})
+	return werr
 }
 
 // Regions implements Walker: the general heap plus the reserved site

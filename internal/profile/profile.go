@@ -287,15 +287,26 @@ type Mapper struct {
 	memo  map[callchain.ChainID]callchain.ChainID // raw from-chain -> site chain in p.table
 	hits  map[SiteKey]int64                       // predictor sites that matched
 	total int64
+
+	// decisions memoizes the final PredictShort outcome per (raw chain,
+	// rounded size) pair, packed into one 64-bit key, so the replay's
+	// per-alloc cost is a single map probe instead of chain mapping plus
+	// a 16-byte-key site lookup. A cached hit only bumps total: the
+	// first occurrence of each pair went through the slow path, which
+	// already recorded the site in hits, and only the number of distinct
+	// matched sites (SitesMatched) is observable. Rounded sizes that
+	// do not fit 32 bits bypass the cache.
+	decisions map[uint64]bool
 }
 
 // NewMapper prepares a mapper from chains interned in from onto p.
 func (p *Predictor) NewMapper(from *callchain.Table) *Mapper {
 	return &Mapper{
-		p:    p,
-		from: from,
-		memo: make(map[callchain.ChainID]callchain.ChainID),
-		hits: make(map[SiteKey]int64),
+		p:         p,
+		from:      from,
+		memo:      make(map[callchain.ChainID]callchain.ChainID),
+		hits:      make(map[SiteKey]int64),
+		decisions: make(map[uint64]bool),
 	}
 }
 
@@ -321,9 +332,26 @@ func (m *Mapper) siteChainFrom(raw callchain.ChainID) callchain.ChainID {
 // PredictShort reports the prediction for an allocation observed in the
 // foreign execution, and records site-usage accounting.
 func (m *Mapper) PredictShort(raw callchain.ChainID, size int64) bool {
+	rounded := m.p.Config.roundSize(size)
+	if uint64(rounded)>>32 == 0 {
+		ck := uint64(raw)<<32 | uint64(rounded)
+		if short, ok := m.decisions[ck]; ok {
+			m.total++
+			return short
+		}
+		short := m.predictSlow(raw, rounded)
+		m.decisions[ck] = short
+		return short
+	}
+	return m.predictSlow(raw, rounded)
+}
+
+// predictSlow is the uncached decision: map the chain, probe the site
+// set, and record site-usage accounting.
+func (m *Mapper) predictSlow(raw callchain.ChainID, rounded int64) bool {
 	key := SiteKey{
 		Chain: m.siteChainFrom(raw),
-		Size:  m.p.Config.roundSize(size),
+		Size:  rounded,
 	}
 	m.total++
 	if _, ok := m.p.keys[key]; ok {

@@ -235,6 +235,33 @@ func (s *Source) Next() (trace.Event, error) {
 	return trace.Event{}, io.EOF
 }
 
+// NextBlock implements trace.BlockSource natively: the generator fills
+// the caller's block directly, one generation step per slot, so block
+// consumers replay synth workloads without a per-event interface call.
+// Every RNG draw happens in the same order as scalar Next — NextBlock is
+// a loop over the same single generation step — so the event sequence is
+// byte-identical either way. io.EOF after a partially filled block is
+// held back for the following call, per the BlockSource contract.
+func (s *Source) NextBlock(b *trace.EventBlock) error {
+	b.Reset()
+	if s.done {
+		return io.EOF
+	}
+	for !b.Full() {
+		ev, err := s.Next()
+		if err != nil {
+			if b.N == 0 {
+				return err
+			}
+			// s.done is already set, so the next NextBlock call
+			// returns the io.EOF (or error) held back here.
+			return nil
+		}
+		b.Append(ev)
+	}
+	return nil
+}
+
 // CountEvents returns the exact number of events the model generates
 // under cfg, by a counting dry run into a scratch table. Generation is
 // deterministic in Config, so the count is exact for any Source built

@@ -108,3 +108,32 @@ func TestSourceConfigErrors(t *testing.T) {
 		t.Fatal("trailer metadata missing after EOF")
 	}
 }
+
+// TestSourceBlocksMatchScalar pins the batched face of the generator: for
+// every model, draining via NextBlock yields exactly the scalar event
+// sequence and trailer — the RNG draw order is shared, so the two faces
+// cannot diverge without this failing.
+func TestSourceBlocksMatchScalar(t *testing.T) {
+	for _, m := range All() {
+		cfg := Config{Input: Test, Seed: 42, Scale: 0.01}
+		want, err := m.Generate(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		src, err := m.Source(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		got, err := trace.CollectBlocks(src)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		if !reflect.DeepEqual(got.Events, want.Events) {
+			t.Fatalf("%s: block event sequence diverges from scalar", m.Name)
+		}
+		if got.FunctionCalls != want.FunctionCalls || got.NonHeapRefs != want.NonHeapRefs {
+			t.Fatalf("%s: trailer %d/%d != %d/%d", m.Name,
+				got.FunctionCalls, got.NonHeapRefs, want.FunctionCalls, want.NonHeapRefs)
+		}
+	}
+}

@@ -1,0 +1,405 @@
+package trace
+
+import (
+	"io"
+
+	"repro/internal/callchain"
+)
+
+// The columnar event API. Source moves one Event per call, which costs an
+// interface dispatch, a 40-byte struct copy, and a branch per event at
+// every layer boundary. EventBlock amortizes that: a producer fills a
+// fixed-capacity struct-of-arrays batch, a consumer iterates the columns
+// with plain index arithmetic, and the per-event boundary cost drops to a
+// slice load. Every Source still works (AsBlockSource wraps it) and every
+// BlockSource degrades to scalar (AsSource), so the two shapes coexist;
+// the binary Reader, the synth generators, and SliceSource produce blocks
+// natively.
+
+// DefaultBlockLen is the event capacity consumers allocate by default: big
+// enough to amortize per-block overhead to noise, small enough that a
+// block (~15KB of columns) stays cache-resident.
+const DefaultBlockLen = 512
+
+// EventBlock is a fixed-capacity struct-of-arrays batch of events. The
+// five column slices share one capacity; entries [0, N) are valid. For
+// KindFree events the Sizes, Chains and Refs columns hold zero, exactly as
+// the corresponding Event fields would.
+//
+// Producers either write into the caller's columns (the recycling
+// contract: a block passed to NextBlock is reset and refilled, so one
+// block serves an entire replay with zero steady-state allocation) or
+// repoint the column slices at producer-owned storage (ColumnsSource's
+// zero-copy views). Either way the contents are valid only until the next
+// NextBlock call on the same producer.
+type EventBlock struct {
+	N      int // events in the block
+	Kinds  []Kind
+	Objs   []ObjectID
+	Sizes  []int64
+	Chains []callchain.ChainID
+	Refs   []int64
+}
+
+// NewEventBlock returns an empty block with the given event capacity
+// (DefaultBlockLen when n <= 0).
+func NewEventBlock(n int) *EventBlock {
+	if n <= 0 {
+		n = DefaultBlockLen
+	}
+	return &EventBlock{
+		Kinds:  make([]Kind, n),
+		Objs:   make([]ObjectID, n),
+		Sizes:  make([]int64, n),
+		Chains: make([]callchain.ChainID, n),
+		Refs:   make([]int64, n),
+	}
+}
+
+// Cap returns the block's event capacity.
+func (b *EventBlock) Cap() int { return len(b.Kinds) }
+
+// Reset empties the block without touching the columns.
+func (b *EventBlock) Reset() { b.N = 0 }
+
+// Full reports whether another event fits.
+func (b *EventBlock) Full() bool { return b.N >= len(b.Kinds) }
+
+// Append adds one event to the block; the caller must ensure !Full().
+func (b *EventBlock) Append(ev Event) {
+	i := b.N
+	b.Kinds[i] = ev.Kind
+	b.Objs[i] = ev.Obj
+	b.Sizes[i] = ev.Size
+	b.Chains[i] = ev.Chain
+	b.Refs[i] = ev.Refs
+	b.N = i + 1
+}
+
+// Event reassembles row i as a scalar Event.
+func (b *EventBlock) Event(i int) Event {
+	return Event{
+		Kind:  b.Kinds[i],
+		Obj:   b.Objs[i],
+		Size:  b.Sizes[i],
+		Chain: b.Chains[i],
+		Refs:  b.Refs[i],
+	}
+}
+
+// BlockSource is the batched twin of Source: NextBlock resets b and fills
+// it with up to Cap() events.
+//
+// The contract mirrors Source.Next, lifted to batches:
+//
+//   - NextBlock returns nil when it produced at least one event. io.EOF
+//     marks the clean end of the stream and always arrives with b.N == 0.
+//   - A producer that hits an error (or the clean end) after partially
+//     filling a block returns the filled events with a nil error first and
+//     the held error on the next call, so consumers observe exactly the
+//     event-then-error order the scalar stream would deliver.
+//   - Meta and Table behave as on Source: the table is complete before
+//     the first block (TextReader-style growing tables reach consumers
+//     only through the scalar interface), trailer metadata is final once
+//     NextBlock has returned io.EOF.
+//
+// Like Sources, BlockSources are single-consumer.
+type BlockSource interface {
+	Meta() Meta
+	Table() *callchain.Table
+	NextBlock(b *EventBlock) error
+}
+
+// AsBlockSource returns src's batched face: src itself when it already
+// implements BlockSource (Reader, SliceSource, ColumnsSource, the synth
+// generators), otherwise a wrapper that fills blocks by repeated Next
+// calls. Either way the event sequence, errors, metadata, and table are
+// those of src.
+func AsBlockSource(src Source) BlockSource {
+	if bs, ok := src.(BlockSource); ok {
+		return bs
+	}
+	return &blockAdapter{src: src}
+}
+
+// blockAdapter lifts a scalar Source to BlockSource.
+type blockAdapter struct {
+	src Source
+	err error // pending terminal error, delivered once the batched events drain
+}
+
+func (a *blockAdapter) Meta() Meta              { return a.src.Meta() }
+func (a *blockAdapter) Table() *callchain.Table { return a.src.Table() }
+func (a *blockAdapter) EventCount() (int, bool) {
+	if c, ok := a.src.(Counted); ok {
+		return c.EventCount()
+	}
+	return 0, false
+}
+
+func (a *blockAdapter) NextBlock(b *EventBlock) error {
+	b.Reset()
+	if a.err != nil {
+		err := a.err
+		a.err = nil
+		return err
+	}
+	for !b.Full() {
+		ev, err := a.src.Next()
+		if err != nil {
+			if b.N == 0 {
+				return err
+			}
+			a.err = err
+			return nil
+		}
+		b.Append(ev)
+	}
+	return nil
+}
+
+// AsSource returns bs's scalar face: bs itself when it already implements
+// Source, otherwise a wrapper that drains one buffered block at a time.
+func AsSource(bs BlockSource) Source {
+	if src, ok := bs.(Source); ok {
+		return src
+	}
+	return &scalarAdapter{bs: bs, blk: NewEventBlock(DefaultBlockLen)}
+}
+
+// scalarAdapter lowers a BlockSource to scalar Next calls.
+type scalarAdapter struct {
+	bs  BlockSource
+	blk *EventBlock
+	pos int
+}
+
+func (a *scalarAdapter) Meta() Meta              { return a.bs.Meta() }
+func (a *scalarAdapter) Table() *callchain.Table { return a.bs.Table() }
+
+func (a *scalarAdapter) Next() (Event, error) {
+	for a.pos >= a.blk.N {
+		if err := a.bs.NextBlock(a.blk); err != nil {
+			return Event{}, err
+		}
+		a.pos = 0
+	}
+	ev := a.blk.Event(a.pos)
+	a.pos++
+	return ev, nil
+}
+
+// BlockPool is a LIFO free list of equal-capacity blocks, the recycling
+// half of the batched contract: a replay Gets one block up front, passes
+// it to every NextBlock call, and Puts it back when the stream ends, so
+// steady-state block traffic allocates nothing. Pools are single-goroutine
+// (like the Sources they serve); concurrent replays use one pool each.
+type BlockPool struct {
+	blockLen int
+	free     []*EventBlock
+}
+
+// NewBlockPool returns a pool handing out blocks of the given capacity
+// (DefaultBlockLen when n <= 0).
+func NewBlockPool(n int) *BlockPool {
+	if n <= 0 {
+		n = DefaultBlockLen
+	}
+	return &BlockPool{blockLen: n}
+}
+
+// Get returns an empty block, reusing a released one when available.
+func (p *BlockPool) Get() *EventBlock {
+	if n := len(p.free); n > 0 {
+		b := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		b.Reset()
+		return b
+	}
+	return NewEventBlock(p.blockLen)
+}
+
+// Put releases a block back to the pool for reuse.
+func (p *BlockPool) Put(b *EventBlock) {
+	if b == nil || b.Cap() != p.blockLen {
+		return
+	}
+	p.free = append(p.free, b)
+}
+
+// NextBlock implements BlockSource for SliceSource by copying the next
+// window of events into the caller's columns.
+func (s *SliceSource) NextBlock(b *EventBlock) error {
+	b.Reset()
+	if s.i >= len(s.tr.Events) {
+		return io.EOF
+	}
+	events := s.tr.Events[s.i:]
+	n := b.Cap()
+	if n > len(events) {
+		n = len(events)
+	}
+	for k := 0; k < n; k++ {
+		ev := &events[k]
+		b.Kinds[k] = ev.Kind
+		b.Objs[k] = ev.Obj
+		b.Sizes[k] = ev.Size
+		b.Chains[k] = ev.Chain
+		b.Refs[k] = ev.Refs
+	}
+	b.N = n
+	s.i += n
+	return nil
+}
+
+// Columns is a whole trace transposed into columnar storage: the same five
+// columns as EventBlock, but trace-length. Building it costs one pass; a
+// ColumnsSource then serves zero-copy block views into it, which makes a
+// repeatedly-replayed trace (benchmarks, the differential harness) the
+// cheapest possible producer.
+type Columns struct {
+	Kinds  []Kind
+	Objs   []ObjectID
+	Sizes  []int64
+	Chains []callchain.ChainID
+	Refs   []int64
+}
+
+// NewColumns transposes a slice of events. Free events store zero in the
+// alloc-only columns, as everywhere else.
+func NewColumns(events []Event) *Columns {
+	c := &Columns{
+		Kinds:  make([]Kind, len(events)),
+		Objs:   make([]ObjectID, len(events)),
+		Sizes:  make([]int64, len(events)),
+		Chains: make([]callchain.ChainID, len(events)),
+		Refs:   make([]int64, len(events)),
+	}
+	for i := range events {
+		ev := &events[i]
+		c.Kinds[i] = ev.Kind
+		c.Objs[i] = ev.Obj
+		c.Sizes[i] = ev.Size
+		c.Chains[i] = ev.Chain
+		c.Refs[i] = ev.Refs
+	}
+	return c
+}
+
+// Len returns the event count.
+func (c *Columns) Len() int { return len(c.Kinds) }
+
+// ColumnsSource yields a transposed trace as zero-copy block views. It
+// implements both Source and BlockSource (and Counted), so it can stand in
+// for a SliceSource anywhere; NextBlock repoints the caller's block at the
+// next window of the columns instead of copying.
+type ColumnsSource struct {
+	meta Meta
+	tb   *callchain.Table
+	cols *Columns
+	i    int
+	blk  int // NextBlock window length (DefaultBlockLen)
+}
+
+// NewColumnsSource returns a source over pre-transposed columns with the
+// given metadata and chain table.
+func NewColumnsSource(meta Meta, tb *callchain.Table, cols *Columns) *ColumnsSource {
+	return &ColumnsSource{meta: meta, tb: tb, cols: cols, blk: DefaultBlockLen}
+}
+
+// NewTraceColumns transposes a materialized trace and returns a source
+// over it — the columnar twin of NewSliceSource.
+func NewTraceColumns(tr *Trace) *ColumnsSource {
+	return NewColumnsSource(Meta{
+		Program:       tr.Program,
+		Input:         tr.Input,
+		FunctionCalls: tr.FunctionCalls,
+		NonHeapRefs:   tr.NonHeapRefs,
+	}, tr.Table, NewColumns(tr.Events))
+}
+
+// Meta returns the trace metadata, complete from the start.
+func (s *ColumnsSource) Meta() Meta { return s.meta }
+
+// Table returns the chain table.
+func (s *ColumnsSource) Table() *callchain.Table { return s.tb }
+
+// EventCount implements Counted.
+func (s *ColumnsSource) EventCount() (int, bool) { return s.cols.Len(), true }
+
+// Reset rewinds the source to the first event for another replay.
+func (s *ColumnsSource) Reset() { s.i = 0 }
+
+// Next implements Source.
+func (s *ColumnsSource) Next() (Event, error) {
+	if s.i >= s.cols.Len() {
+		return Event{}, io.EOF
+	}
+	i := s.i
+	s.i++
+	return Event{
+		Kind:  s.cols.Kinds[i],
+		Obj:   s.cols.Objs[i],
+		Size:  s.cols.Sizes[i],
+		Chain: s.cols.Chains[i],
+		Refs:  s.cols.Refs[i],
+	}, nil
+}
+
+// NextBlock implements BlockSource by repointing b's columns at the next
+// window — no copying. The view is valid until the next call, per the
+// EventBlock contract.
+func (s *ColumnsSource) NextBlock(b *EventBlock) error {
+	b.Reset()
+	n := s.cols.Len() - s.i
+	if n <= 0 {
+		return io.EOF
+	}
+	if n > s.blk {
+		n = s.blk
+	}
+	i, j := s.i, s.i+n
+	b.Kinds = s.cols.Kinds[i:j]
+	b.Objs = s.cols.Objs[i:j]
+	b.Sizes = s.cols.Sizes[i:j]
+	b.Chains = s.cols.Chains[i:j]
+	b.Refs = s.cols.Refs[i:j]
+	b.N = n
+	s.i = j
+	return nil
+}
+
+// CollectBlocks drains a BlockSource into a materialized Trace — Collect
+// for the batched interface, sharing its capacity-hint clamp.
+func CollectBlocks(bs BlockSource) (*Trace, error) {
+	var hint int
+	if c, ok := bs.(Counted); ok {
+		if n, known := c.EventCount(); known {
+			hint = min(n, collectCap)
+		}
+	}
+	events := make([]Event, 0, hint)
+	blk := NewEventBlock(DefaultBlockLen)
+	for {
+		err := bs.NextBlock(blk)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < blk.N; i++ {
+			events = append(events, blk.Event(i))
+		}
+	}
+	m := bs.Meta()
+	return &Trace{
+		Program:       m.Program,
+		Input:         m.Input,
+		Table:         bs.Table(),
+		Events:        events,
+		FunctionCalls: m.FunctionCalls,
+		NonHeapRefs:   m.NonHeapRefs,
+	}, nil
+}

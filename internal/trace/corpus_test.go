@@ -14,8 +14,9 @@ import (
 // and every entry must be in the corpus v1 encoding.
 func TestFuzzCorpusPresent(t *testing.T) {
 	for target, minEntries := range map[string]int{
-		"FuzzReadBinary": 5,
-		"FuzzReadText":   3,
+		"FuzzReadBinary":       5,
+		"FuzzReadBinaryBlocks": 5,
+		"FuzzReadText":         3,
 	} {
 		dir := filepath.Join("testdata", "fuzz", target)
 		entries, err := os.ReadDir(dir)

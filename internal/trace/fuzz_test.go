@@ -78,6 +78,99 @@ func FuzzReadBinary(f *testing.F) {
 	})
 }
 
+// FuzzReadBinaryBlocks is the differential target for the batched
+// decoder: on arbitrary bytes, replaying a Reader through NextBlock must
+// be indistinguishable from replaying it through Next — same constructor
+// verdict, same events in the same order, same terminal error text, and
+// the same trailer metadata. A small block capacity forces many block
+// boundaries, the place where the hold-the-error-back contract can go
+// wrong.
+func FuzzReadBinaryBlocks(f *testing.F) {
+	// A trace longer than the fuzz block capacity, streamed in LPTRACE2,
+	// plus the usual corruptions; and the same events in LPTRACE1, which
+	// NextBlock must also batch correctly.
+	tr := randomTrace(13, 600)
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, Meta{Program: tr.Program, Input: tr.Input}, tr.Table)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, ev := range tr.Events {
+		if err := w.Write(ev); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if err := w.Close(tr.FunctionCalls, tr.NonHeapRefs); err != nil {
+		f.Fatal(err)
+	}
+	good := buf.Bytes()
+	f.Add(good)
+	f.Add(good[:len(good)/2]) // truncated mid-events
+	f.Add(good[:len(good)-1]) // trailer cut off
+	bad := append([]byte(nil), good...)
+	if len(bad) > 40 {
+		bad[len(bad)/2] ^= 0xFF
+	}
+	f.Add(bad)
+	var buf1 bytes.Buffer
+	if err := WriteBinary(&buf1, tr); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf1.Bytes())
+	f.Add([]byte("LPTRACE2\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sr, serr := NewReader(bytes.NewReader(data))
+		br, berr := NewReader(bytes.NewReader(data))
+		if (serr == nil) != (berr == nil) {
+			t.Fatalf("constructor verdicts differ: %v vs %v", serr, berr)
+		}
+		if serr != nil {
+			return // rejected cleanly, identically
+		}
+		var sev []Event
+		var sfin error
+		for {
+			ev, err := sr.Next()
+			if err != nil {
+				sfin = err
+				break
+			}
+			sev = append(sev, ev)
+		}
+		var bev []Event
+		var bfin error
+		blk := NewEventBlock(64)
+		for {
+			err := br.NextBlock(blk)
+			if err != nil {
+				bfin = err
+				break
+			}
+			if blk.N == 0 {
+				t.Fatal("NextBlock returned nil with an empty block")
+			}
+			for k := 0; k < blk.N; k++ {
+				bev = append(bev, blk.Event(k))
+			}
+		}
+		if sfin.Error() != bfin.Error() {
+			t.Fatalf("terminal errors differ: scalar %q, block %q", sfin, bfin)
+		}
+		if len(sev) != len(bev) {
+			t.Fatalf("event counts differ: scalar %d, block %d", len(sev), len(bev))
+		}
+		for i := range sev {
+			if sev[i] != bev[i] {
+				t.Fatalf("event %d differs: scalar %+v, block %+v", i, sev[i], bev[i])
+			}
+		}
+		if sr.Meta() != br.Meta() {
+			t.Fatalf("trailer metadata differs: scalar %+v, block %+v", sr.Meta(), br.Meta())
+		}
+	})
+}
+
 // FuzzReadText does the same for the text codec.
 func FuzzReadText(f *testing.F) {
 	tr := randomTrace(9, 30)

@@ -150,40 +150,51 @@ func Collect(src Source) (*Trace, error) {
 func AnnotateStream(src Source, emit func(Object) error) error {
 	live := make(map[ObjectID]Object, 4096)
 	var bytes int64
-	for i := 0; ; i++ {
-		ev, err := src.Next()
+	// The scan runs on the block path: sources that speak blocks natively
+	// (binary readers, synth generators, column views) are consumed with
+	// one NextBlock call per DefaultBlockLen events; everything else goes
+	// through the scalar adapter. Event indices in errors stay global —
+	// base counts events in completed blocks.
+	bs := AsBlockSource(src)
+	blk := NewEventBlock(DefaultBlockLen)
+	for base := 0; ; base += blk.N {
+		err := bs.NextBlock(blk)
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
 			return err
 		}
-		switch ev.Kind {
-		case KindAlloc:
-			if _, dup := live[ev.Obj]; dup {
-				return fmt.Errorf("trace: event %d: object %d allocated twice", i, ev.Obj)
+		for k := 0; k < blk.N; k++ {
+			i := base + k
+			obj := blk.Objs[k]
+			switch blk.Kinds[k] {
+			case KindAlloc:
+				if _, dup := live[obj]; dup {
+					return fmt.Errorf("trace: event %d: object %d allocated twice", i, obj)
+				}
+				live[obj] = Object{
+					ID:    obj,
+					Size:  blk.Sizes[k],
+					Chain: blk.Chains[k],
+					Refs:  blk.Refs[k],
+					Birth: bytes,
+				}
+				bytes += blk.Sizes[k]
+			case KindFree:
+				o, ok := live[obj]
+				if !ok {
+					return fmt.Errorf("trace: event %d: free of unknown object %d", i, obj)
+				}
+				delete(live, obj)
+				o.Freed = true
+				o.Lifetime = bytes - o.Birth
+				if err := emit(o); err != nil {
+					return err
+				}
+			default:
+				return fmt.Errorf("trace: event %d: bad kind %d", i, blk.Kinds[k])
 			}
-			live[ev.Obj] = Object{
-				ID:    ev.Obj,
-				Size:  ev.Size,
-				Chain: ev.Chain,
-				Refs:  ev.Refs,
-				Birth: bytes,
-			}
-			bytes += ev.Size
-		case KindFree:
-			o, ok := live[ev.Obj]
-			if !ok {
-				return fmt.Errorf("trace: event %d: free of unknown object %d", i, ev.Obj)
-			}
-			delete(live, ev.Obj)
-			o.Freed = true
-			o.Lifetime = bytes - o.Birth
-			if err := emit(o); err != nil {
-				return err
-			}
-		default:
-			return fmt.Errorf("trace: event %d: bad kind %d", i, ev.Kind)
 		}
 	}
 	if len(live) == 0 {

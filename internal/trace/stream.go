@@ -131,6 +131,7 @@ type Reader struct {
 	n    uint64 // total events, LPTRACE1 only
 	i    uint64 // events decoded so far
 	done bool
+	perr error // pending terminal error held back by NextBlock
 }
 
 // NewReader parses a binary trace header from r and returns a Source
@@ -265,6 +266,34 @@ func (r *Reader) Next() (Event, error) {
 		return Event{}, fmt.Errorf("trace: event %d: bad kind %d", i, kb)
 	}
 	return ev, nil
+}
+
+// NextBlock implements BlockSource natively: it decodes events straight
+// into the caller's block, amortizing the Source interface dispatch over
+// a whole block. The block is caller-recycled — steady-state replay from
+// a Reader allocates nothing per block. A terminal error (including
+// io.EOF) that arrives after at least one event has been decoded is held
+// back and returned by the following call, so block consumers observe
+// the exact event-then-error ordering that scalar Next callers see.
+func (r *Reader) NextBlock(b *EventBlock) error {
+	b.Reset()
+	if r.perr != nil {
+		err := r.perr
+		r.perr = nil
+		return err
+	}
+	for !b.Full() {
+		ev, err := r.Next()
+		if err != nil {
+			if b.N == 0 {
+				return err
+			}
+			r.perr = err
+			return nil
+		}
+		b.Append(ev)
+	}
+	return nil
 }
 
 // Writer encodes a trace incrementally in the LPTRACE2 format: NewWriter
