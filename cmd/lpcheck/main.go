@@ -30,8 +30,12 @@ import (
 const name = "lpcheck"
 
 func main() {
-	models := flag.String("models", "", "synth models to audit: all, or comma list (cfrac,espresso,gawk,ghost,perl); empty skips")
-	allocs := flag.String("allocs", "all", "allocators to check: all, or comma list (firstfit,bestfit,bsd,arena,sitearena,custom)")
+	models := flag.String("models", "",
+		fmt.Sprintf("synth models to audit: all, or comma list (valid: %s); empty skips",
+			strings.Join(core.ProgramOrder, ",")))
+	allocs := flag.String("allocs", "all",
+		fmt.Sprintf("allocators to check: all, or comma list (valid: %s)",
+			strings.Join(check.AllocatorNames(), ",")))
 	scale := flag.Float64("scale", 0.005, "model trace scale for -models audits (stride-1 audits are quadratic in trace length)")
 	cases := flag.Int("cases", 0, "property-based cases to run (0 = only if no other mode selected, then 100)")
 	seed := flag.Uint64("seed", 1993, "base seed for property-based generation")
@@ -127,7 +131,7 @@ func auditModels(modelSpec, allocSpec string, scale float64, stride int) error {
 		for _, mn := range strings.Split(modelSpec, ",") {
 			m := synth.ByName(mn)
 			if m == nil {
-				return fmt.Errorf("unknown model %q", mn)
+				return fmt.Errorf("unknown model %q (want %s)", mn, strings.Join(core.ProgramOrder, ", "))
 			}
 			ms = append(ms, m)
 		}

@@ -1,0 +1,117 @@
+// CLI-contract tests for lpcheck, exec-based: the usage surface must
+// enumerate every valid allocator so an unknown -allocs value is
+// recoverable without reading source, and bad names exit 2 with the full
+// list.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/check"
+)
+
+var (
+	binOnce sync.Once
+	binPath string
+	binErr  error
+)
+
+func lpcheckBin(t *testing.T) string {
+	t.Helper()
+	binOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "lpcheck-bin")
+		if err != nil {
+			binErr = err
+			return
+		}
+		binPath = filepath.Join(dir, "lpcheck")
+		if out, err := exec.Command("go", "build", "-o", binPath, "repro/cmd/lpcheck").CombinedOutput(); err != nil {
+			binErr = fmt.Errorf("go build: %v\n%s", err, out)
+		}
+	})
+	if binErr != nil {
+		t.Fatal(binErr)
+	}
+	return binPath
+}
+
+func runLpcheck(t *testing.T, args ...string) (stdout, stderr string, code int) {
+	t.Helper()
+	cmd := exec.Command(lpcheckBin(t), args...)
+	var out, errb bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &errb
+	err := cmd.Run()
+	if err != nil {
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("lpcheck %v: %v", args, err)
+		}
+		code = ee.ExitCode()
+	}
+	return out.String(), errb.String(), code
+}
+
+// TestUnknownAllocExitsTwoWithFullList: a bad -allocs name is a usage
+// error (exit 2) and the message names every valid allocator.
+func TestUnknownAllocExitsTwoWithFullList(t *testing.T) {
+	stdout, stderr, code := runLpcheck(t, "-allocs", "slab", "-cases", "1")
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2 (stderr: %s)", code, stderr)
+	}
+	if !strings.Contains(stderr, `unknown allocator "slab"`) {
+		t.Errorf("stderr missing unknown-allocator message:\n%s", stderr)
+	}
+	for _, name := range check.AllocatorNames() {
+		if !strings.Contains(stderr, name) {
+			t.Errorf("stderr missing valid allocator %q:\n%s", name, stderr)
+		}
+	}
+	if !strings.Contains(stderr, "run lpcheck -help for usage") {
+		t.Errorf("stderr missing usage pointer:\n%s", stderr)
+	}
+	if stdout != "" {
+		t.Errorf("usage error wrote to stdout: %q", stdout)
+	}
+}
+
+// TestHelpEnumeratesAllocators: -help lists every allocator (including
+// segfit) and every model, so the flag values are discoverable.
+func TestHelpEnumeratesAllocators(t *testing.T) {
+	_, stderr, code := runLpcheck(t, "-help")
+	if code != 0 {
+		t.Fatalf("-help exit code = %d, want 0", code)
+	}
+	for _, name := range check.AllocatorNames() {
+		if !strings.Contains(stderr, name) {
+			t.Errorf("-help output missing allocator %q:\n%s", name, stderr)
+		}
+	}
+	for _, m := range []string{"cfrac", "espresso", "gawk", "ghost", "perl"} {
+		if !strings.Contains(stderr, m) {
+			t.Errorf("-help output missing model %q:\n%s", m, stderr)
+		}
+	}
+}
+
+// TestPropertyRunCoversSevenAllocators: a tiny clean property run over
+// the full allocator set exits 0 and reports the allocator count.
+func TestPropertyRunCoversSevenAllocators(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exec run is seconds-long; skipped in -short")
+	}
+	stdout, stderr, code := runLpcheck(t, "-cases", "5", "-events", "150")
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr: %s", code, stderr)
+	}
+	want := fmt.Sprintf("x %d allocators", len(check.AllocatorNames()))
+	if !strings.Contains(stdout, want) {
+		t.Errorf("stdout missing %q:\n%s", want, stdout)
+	}
+}

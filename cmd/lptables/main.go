@@ -6,7 +6,7 @@
 // Usage:
 //
 //	lptables [-scale 0.25] [-seed 1993] [-tables 2,3,4,5,6,7,8,9]
-//	         [-programs cfrac,perl] [-workers N] [-timings]
+//	         [-programs cfrac,perl] [-workers N] [-timings] [-tournament]
 //
 // Scale 1.0 reproduces the paper-scale traces (millions of objects);
 // smaller scales run proportionally faster. Prediction percentages are
@@ -17,6 +17,13 @@
 // program runs as soon as its build lands, all on a -workers pool. The
 // printed report is byte-identical at any worker count; -timings adds a
 // per-cell wall-clock summary on stderr.
+//
+// -tournament switches to the predictor-and-allocator shoot-out: every
+// registered prediction policy (internal/profile's zoo) crossed with
+// every simulated allocator, each cell scored for fragmentation,
+// prediction accuracy, and misprediction cost, then ranked. The run is
+// conformance-gated: internal/check's oracle-driven differential suite
+// must pass for every policy and allocator first.
 package main
 
 import (
@@ -27,6 +34,7 @@ import (
 	"runtime"
 	"strings"
 
+	"repro/internal/check"
 	"repro/internal/cliutil"
 	"repro/internal/core"
 )
@@ -37,14 +45,20 @@ func main() {
 	scale := flag.Float64("scale", 0.25, "trace scale relative to the paper's runs")
 	seed := flag.Uint64("seed", 1993, "base RNG seed")
 	tables := flag.String("tables", strings.Join(core.TableFlags, ","), "comma-separated tables to produce (L = locality extension, A = ablations)")
-	programs := flag.String("programs", "", "comma-separated subset of programs to run (default all)")
+	programs := flag.String("programs", "",
+		fmt.Sprintf("comma-separated subset of programs to run (valid: %s; default all)",
+			strings.Join(core.ProgramOrder, ",")))
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "max concurrent builds/table cells")
 	timings := flag.Bool("timings", false, "print per-cell wall-clock summary to stderr")
 	tracePath := flag.String("trace", "", "write the engine schedule as Chrome trace_event JSON (load in Perfetto or chrome://tracing)")
+	tournament := flag.Bool("tournament", false,
+		fmt.Sprintf("run the predictor x allocator tournament (%s x %s) instead of the paper tables",
+			strings.Join(core.PolicyNames(), ","), strings.Join(core.TournamentAllocators, ",")))
 	cliutil.Parse(name,
 		"regenerate the paper's tables from the models and simulators",
 		"lptables -scale 0.25 -seed 1993 -tables 2,7,8 -workers 4",
-		"lptables -scale 0.02 -trace schedule.json")
+		"lptables -scale 0.02 -trace schedule.json",
+		"lptables -scale 0.02 -tournament")
 
 	want, err := core.ParseTables(*tables)
 	if err != nil {
@@ -61,6 +75,11 @@ func main() {
 	cfg := core.DefaultConfig(*scale)
 	cfg.SeedBase = *seed
 	eng := core.NewEngine(cfg)
+
+	if *tournament {
+		runTournament(eng, *scale, *seed, progList, *workers)
+		return
+	}
 
 	res, err := eng.Run(core.Spec{
 		Tables:   want,
@@ -101,6 +120,47 @@ func main() {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "%s: wrote %d trace events to %s\n", name, len(res.Timings), *tracePath)
+	}
+}
+
+// runTournament executes the -tournament mode: every zoo predictor
+// crossed with every simulated allocator, ranked. Before any cell runs,
+// the conformance gate replays internal/check's differential suite with
+// every policy's hints driving every allocator — a policy or allocator
+// that cannot pass the oracle-gated property harness never gets scored.
+func runTournament(eng *core.Engine, scale float64, seed uint64, progList []string, workers int) {
+	res, err := eng.RunTournament(core.TournamentSpec{
+		Programs: progList,
+		Workers:  workers,
+		Gate:     tournamentGate(seed),
+		Progress: func(msg string) { fmt.Fprintln(os.Stderr, msg) },
+	})
+	if err != nil {
+		if strings.Contains(err.Error(), "unknown program") {
+			cliutil.UsageError(name, "%v", err)
+		}
+		fatal(err)
+	}
+	if _, err := fmt.Printf("lifetime-prediction tournament; scale=%g seed=%d\n%d policies x %d allocators, conformance-gated\n\n",
+		scale, seed, len(core.PolicyNames()), len(core.TournamentAllocators)); err != nil {
+		fatal(err)
+	}
+	if _, err := os.Stdout.Write(res.Output); err != nil {
+		fatal(err)
+	}
+}
+
+// tournamentGate returns the conformance hook: a short property run over
+// generated traces in which every zoo policy's verdicts drive every
+// checkable allocator through the differential suite, with ddmin shrink
+// on failure. Seeded from -seed so a gate failure reproduces exactly.
+func tournamentGate(seed uint64) func() error {
+	return func() error {
+		fs, err := check.Factories()
+		if err != nil {
+			return err
+		}
+		return check.RunOracles(seed, 3, check.GenConfig{}, fs, check.Options{Stride: 16}, nil)
 	}
 }
 

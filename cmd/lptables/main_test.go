@@ -116,6 +116,42 @@ func TestGoldenAblationsOnly(t *testing.T) {
 	checkGolden(t, filepath.Join("testdata", "golden-scale0.02-seed1993-tablesA.txt"), got)
 }
 
+// renderTournament reproduces lptables -tournament stdout: the header
+// lines followed by the ranked report. The gate is exercised separately
+// (it writes nothing to stdout), so the golden pins the report bytes
+// alone.
+func renderTournament(t *testing.T, workers int) []byte {
+	t.Helper()
+	res, err := goldenEngine().RunTournament(core.TournamentSpec{Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "lifetime-prediction tournament; scale=%g seed=%d\n%d policies x %d allocators, conformance-gated\n\n",
+		goldenScale, goldenSeed, len(core.PolicyNames()), len(core.TournamentAllocators))
+	b.Write(res.Output)
+	return b.Bytes()
+}
+
+func TestGoldenTournament(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden run is seconds-long; skipped in -short")
+	}
+	got := renderTournament(t, 4)
+	checkGolden(t, filepath.Join("testdata", "golden-tournament-scale0.02-seed1993.txt"), got)
+}
+
+// TestGoldenTournamentWorkerInvariance: the tournament report the golden
+// pinned is byte-identical when rendered serially.
+func TestGoldenTournamentWorkerInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden run is seconds-long; skipped in -short")
+	}
+	if !bytes.Equal(renderTournament(t, 1), renderTournament(t, 4)) {
+		t.Fatal("workers=1 and workers=4 rendered different tournament bytes")
+	}
+}
+
 // TestGoldenWorkerInvariance re-renders a slice of the report serially
 // and checks it against the workers=4 bytes that the goldens pinned —
 // the user-visible face of the engine's determinism guarantee.
@@ -198,6 +234,72 @@ func TestUsageErrors(t *testing.T) {
 				t.Errorf("usage error wrote to stdout: %q", stdout)
 			}
 		})
+	}
+}
+
+// TestUsageEnumeratesPrograms: -help must list every valid program name
+// so an unknown -programs value is recoverable without reading source.
+func TestUsageEnumeratesPrograms(t *testing.T) {
+	_, stderr, code := runLptables(t, "-help")
+	if code != 0 {
+		t.Fatalf("-help exit code = %d, want 0", code)
+	}
+	for _, p := range core.ProgramOrder {
+		if !strings.Contains(stderr, p) {
+			t.Errorf("-help output missing program %q:\n%s", p, stderr)
+		}
+	}
+}
+
+// TestTournamentFlagRunsGateAndReport execs the real binary in
+// -tournament mode on one small program: the conformance gate must
+// announce itself on stderr and the ranked report must land on stdout.
+func TestTournamentFlagRunsGateAndReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exec run is seconds-long; skipped in -short")
+	}
+	stdout, stderr, code := runLptables(t,
+		"-scale", "0.005", "-programs", "cfrac", "-tournament")
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "conformance gate passed") {
+		t.Errorf("stderr missing gate confirmation:\n%s", stderr)
+	}
+	if !strings.Contains(stdout, "lifetime-prediction tournament") ||
+		!strings.Contains(stdout, "Tournament: policy x allocator ranking") {
+		t.Errorf("stdout missing tournament report:\n%s", stdout)
+	}
+	for _, name := range core.TournamentAllocators {
+		if !strings.Contains(stdout, name) {
+			t.Errorf("report missing allocator %s", name)
+		}
+	}
+	for _, name := range core.PolicyNames() {
+		if !strings.Contains(stdout, name) {
+			t.Errorf("report missing policy %s", name)
+		}
+	}
+}
+
+// TestTournamentUnknownProgramExitsTwo: the tournament path shares the
+// usage-error contract, naming every valid program.
+func TestTournamentUnknownProgramExitsTwo(t *testing.T) {
+	stdout, stderr, code := runLptables(t,
+		"-scale", "0.005", "-tournament", "-programs", "netscape")
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2 (stderr: %s)", code, stderr)
+	}
+	if !strings.Contains(stderr, `unknown program "netscape"`) {
+		t.Errorf("stderr missing unknown-program message:\n%s", stderr)
+	}
+	for _, p := range core.ProgramOrder {
+		if !strings.Contains(stderr, p) {
+			t.Errorf("stderr missing valid program %q:\n%s", p, stderr)
+		}
+	}
+	if stdout != "" {
+		t.Errorf("usage error wrote to stdout: %q", stdout)
 	}
 }
 

@@ -36,7 +36,7 @@ func TestLedgerValidatesTrace(t *testing.T) {
 }
 
 // TestAuditAllAllocators replays generated traces through every factory
-// with a stride-1 audit: the conformance suite must hold on all six
+// with a stride-1 audit: the conformance suite must hold on all seven
 // built-in simulators.
 func TestAuditAllAllocators(t *testing.T) {
 	fs, err := Factories()

@@ -3,6 +3,7 @@ package check
 import (
 	"fmt"
 	"io"
+	"strings"
 
 	"repro/internal/heapsim"
 	"repro/internal/trace"
@@ -22,7 +23,8 @@ type Factory struct {
 var defaultHotSizes = []int64{16, 24, 32, 48, 64, 96, 128, 256}
 
 // Factories returns construction recipes for the named allocators, or
-// all six in canonical order when names is empty. Unknown names error.
+// all seven in canonical order when names is empty. Unknown names error,
+// naming every valid allocator.
 func Factories(names ...string) ([]Factory, error) {
 	all := []Factory{
 		{"firstfit", func() heapsim.Allocator { return heapsim.NewFirstFit() }},
@@ -31,6 +33,7 @@ func Factories(names ...string) ([]Factory, error) {
 		{"arena", func() heapsim.Allocator { return heapsim.NewArena() }},
 		{"sitearena", func() heapsim.Allocator { return heapsim.NewSiteArena() }},
 		{"custom", func() heapsim.Allocator { return heapsim.NewCustom(defaultHotSizes) }},
+		{"segfit", func() heapsim.Allocator { return heapsim.NewSegFit() }},
 	}
 	if len(names) == 0 {
 		return all, nil
@@ -43,11 +46,22 @@ func Factories(names ...string) ([]Factory, error) {
 	for _, n := range names {
 		f, ok := byName[n]
 		if !ok {
-			return nil, fmt.Errorf("check: unknown allocator %q", n)
+			return nil, fmt.Errorf("check: unknown allocator %q (want %s)", n, strings.Join(AllocatorNames(), ", "))
 		}
 		out = append(out, f)
 	}
 	return out, nil
+}
+
+// AllocatorNames returns the canonical names of every checkable
+// allocator, in Factories order.
+func AllocatorNames() []string {
+	all, _ := Factories()
+	names := make([]string, len(all))
+	for i, f := range all {
+		names[i] = f.Name
+	}
+	return names
 }
 
 // participant is one allocator in a lockstep differential replay.

@@ -1,0 +1,88 @@
+package check
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/profile"
+	"repro/internal/trace"
+)
+
+// This file is the conformance gate for the predictor zoo: before a
+// policy may enter a tournament, every registered oracle is trained on
+// the trace under test and the full differential suite re-runs with that
+// oracle supplying the predictedShort hints. check imports core (for the
+// block/scalar equivalence replay), so core cannot import check; the
+// tournament runner instead takes this gate as an injected hook (see
+// core.TournamentSpec.Gate), which cmd/lptables wires up.
+
+// zooCheckConfig is the site-keying configuration the gate trains under:
+// a low threshold so generated traces (a few KB of allocation) actually
+// split into short and long populations.
+var zooCheckConfig = profile.Config{ShortThreshold: 1 << 10}
+
+// ZooPredicts trains every registered zoo policy on the trace itself and
+// returns each policy's Predict hook (self-prediction, own-table chains),
+// keyed by policy name. Training errors abort: an oracle that cannot
+// train on a legal trace is itself a violation.
+func ZooPredicts(tr *trace.Trace) (map[string]Predict, error) {
+	out := make(map[string]Predict)
+	for _, zt := range profile.ZooTrainers() {
+		o, err := zt.Train(tr, zooCheckConfig)
+		if err != nil {
+			return nil, fmt.Errorf("check: training %s oracle: %w", zt.Name, err)
+		}
+		out[zt.Name] = o.PredictShort
+	}
+	return out, nil
+}
+
+// CheckTraceOracles runs CheckTrace once per zoo policy, with that
+// policy's verdicts driving the predictedShort hint for every allocator
+// in the lockstep replay. Policies run in sorted name order so failures
+// are deterministic.
+func CheckTraceOracles(tr *trace.Trace, fs []Factory, opt Options) error {
+	preds, err := ZooPredicts(tr)
+	if err != nil {
+		return err
+	}
+	names := make([]string, 0, len(preds))
+	for n := range preds {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		o := opt
+		o.Predict = preds[name]
+		if err := CheckTrace(tr, fs, o); err != nil {
+			return fmt.Errorf("oracle %s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// RunOracles is the zoo-gated property harness: like Run, but every
+// generated trace is checked under every registered prediction policy,
+// and the first violation ddmin-shrinks to a minimal repro that still
+// fails CheckTraceOracles.
+func RunOracles(seedBase uint64, cases int, gcfg GenConfig, fs []Factory, opt Options, progress func(done int)) error {
+	for i := 0; i < cases; i++ {
+		seed := seedBase + uint64(i)
+		tr := GenTrace(seed, gcfg)
+		if err := CheckTraceOracles(tr, fs, opt); err != nil {
+			fails := func(cand *trace.Trace) error { return CheckTraceOracles(cand, fs, opt) }
+			shrunk := Shrink(tr, fails)
+			return &Violation{
+				Err:    fails(shrunk),
+				Seed:   seed,
+				Case:   i,
+				Trace:  shrunk,
+				Events: len(tr.Events),
+			}
+		}
+		if progress != nil {
+			progress(i + 1)
+		}
+	}
+	return nil
+}

@@ -170,6 +170,8 @@ func allocatorName(alloc heapsim.Allocator) string {
 		return "sitearena"
 	case *heapsim.Custom:
 		return "custom"
+	case *heapsim.SegFit:
+		return "segfit"
 	}
 	return ""
 }
@@ -518,11 +520,20 @@ func RunSim(tr *trace.Trace, alloc heapsim.Allocator, pred *profile.Predictor, o
 // implements trace.Counted, the observability snapshot also carries the
 // 25/50/75% phase marks; otherwise only the end phase is marked.
 func RunSimSource(src trace.Source, alloc heapsim.Allocator, pred *profile.Predictor, observers ...*obs.Collector) (SimResult, error) {
-	var mapper *profile.Mapper
+	var oracle profile.Oracle
 	if pred != nil {
-		mapper = pred.NewMapper(src.Table())
+		oracle = pred.NewMapper(src.Table())
 	}
-	ot := trackerFor(src, alloc, mapper, observers)
+	return RunSimOracle(src, alloc, oracle, observers...)
+}
+
+// RunSimOracle is RunSimSource generalized over the prediction policy: any
+// profile.Oracle — the paper's mapped site database, a zoo policy bound
+// via profile.BindOracle, or nil for no prediction — supplies the
+// per-allocation short/long hint and the threshold its accuracy is scored
+// against. The oracle must already speak the source's chain table.
+func RunSimOracle(src trace.Source, alloc heapsim.Allocator, oracle profile.Oracle, observers ...*obs.Collector) (SimResult, error) {
+	ot := trackerFor(src, alloc, oracle, observers)
 	res := SimResult{}
 	// The replay runs on the block path: block-native sources (binary
 	// readers, synth generators, column views) hand over DefaultBlockLen
@@ -549,11 +560,11 @@ func RunSimSource(src trace.Source, alloc heapsim.Allocator, pred *profile.Predi
 			switch kinds[k] {
 			case trace.KindAlloc:
 				short := false
-				if mapper != nil {
+				if oracle != nil {
 					// The loop's own decision is reused for quality
-					// tracking; asking the mapper twice would double its
-					// site-usage accounting.
-					short = mapper.PredictShort(chains[k], sizes[k])
+					// tracking; asking the oracle twice would double a
+					// mapper's site-usage accounting.
+					short = oracle.PredictShort(chains[k], sizes[k])
 				}
 				if err := alloc.Alloc(objs[k], sizes[k], short); err != nil {
 					return res, fmt.Errorf("core: event %d: %w", base+k, err)
@@ -585,7 +596,7 @@ func RunSimSource(src trace.Source, alloc heapsim.Allocator, pred *profile.Predi
 // trackerFor builds the replay's obsTracker when a collector is attached,
 // resolving the event count (for phase marks) and the short threshold the
 // predictions are scored against. Shared by the block and scalar replays.
-func trackerFor(src trace.Source, alloc heapsim.Allocator, mapper *profile.Mapper, observers []*obs.Collector) *obsTracker {
+func trackerFor(src trace.Source, alloc heapsim.Allocator, oracle profile.Oracle, observers []*obs.Collector) *obsTracker {
 	col := pickCollector(observers)
 	if col == nil {
 		return nil
@@ -597,8 +608,8 @@ func trackerFor(src trace.Source, alloc heapsim.Allocator, mapper *profile.Mappe
 		}
 	}
 	thr := profile.DefaultConfig().ShortThreshold
-	if mapper != nil {
-		thr = mapper.ShortThreshold()
+	if oracle != nil {
+		thr = oracle.ShortThreshold()
 	}
 	return newObsTracker(col, alloc, n, thr)
 }
@@ -609,11 +620,18 @@ func trackerFor(src trace.Source, alloc heapsim.Allocator, mapper *profile.Mappe
 // path is differentially tested against: for any source, both replays
 // must produce byte-identical SimResults and snapshots.
 func RunSimSourceScalar(src trace.Source, alloc heapsim.Allocator, pred *profile.Predictor, observers ...*obs.Collector) (SimResult, error) {
-	var mapper *profile.Mapper
+	var oracle profile.Oracle
 	if pred != nil {
-		mapper = pred.NewMapper(src.Table())
+		oracle = pred.NewMapper(src.Table())
 	}
-	ot := trackerFor(src, alloc, mapper, observers)
+	return RunSimOracleScalar(src, alloc, oracle, observers...)
+}
+
+// RunSimOracleScalar is the scalar reference replay generalized over the
+// prediction policy, mirroring RunSimOracle exactly as RunSimSourceScalar
+// mirrors RunSimSource.
+func RunSimOracleScalar(src trace.Source, alloc heapsim.Allocator, oracle profile.Oracle, observers ...*obs.Collector) (SimResult, error) {
+	ot := trackerFor(src, alloc, oracle, observers)
 	res := SimResult{}
 	for i := 0; ; i++ {
 		ev, err := src.Next()
@@ -626,8 +644,8 @@ func RunSimSourceScalar(src trace.Source, alloc heapsim.Allocator, pred *profile
 		short := false
 		switch ev.Kind {
 		case trace.KindAlloc:
-			if mapper != nil {
-				short = mapper.PredictShort(ev.Chain, ev.Size)
+			if oracle != nil {
+				short = oracle.PredictShort(ev.Chain, ev.Size)
 			}
 			if err := alloc.Alloc(ev.Obj, ev.Size, short); err != nil {
 				return res, fmt.Errorf("core: event %d: %w", i, err)

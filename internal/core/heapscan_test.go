@@ -37,6 +37,7 @@ func TestHeapScanReconcilesLedger(t *testing.T) {
 		{"arena", heapsim.NewArena()},
 		{"custom", heapsim.NewCustom(hot)},
 		{"sitearena", heapsim.NewSiteArena()},
+		{"segfit", heapsim.NewSegFit()},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -16,7 +16,7 @@ import (
 // AllocatorNames lists the simulators RunSim drives by name, in report
 // order. (SiteArena needs the sited replay loop and is not part of the
 // standard matrix.)
-var AllocatorNames = []string{"firstfit", "bestfit", "bsd", "arena"}
+var AllocatorNames = []string{"firstfit", "bestfit", "bsd", "arena", "segfit"}
 
 // PredictorModes are the prediction configurations a matrix job can ask
 // for: none (no hints), self (trained on the measured input itself), and
@@ -34,6 +34,8 @@ func NewAllocator(name string) (heapsim.Allocator, error) {
 		return heapsim.NewBSD(), nil
 	case "arena":
 		return heapsim.NewArena(), nil
+	case "segfit":
+		return heapsim.NewSegFit(), nil
 	}
 	return nil, fmt.Errorf("core: unknown allocator %q (want %s)", name, strings.Join(AllocatorNames, ", "))
 }

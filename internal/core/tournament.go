@@ -1,0 +1,418 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/callchain"
+	"repro/internal/heapsim"
+	"repro/internal/obs"
+	"repro/internal/profile"
+	"repro/internal/table"
+	"repro/internal/trace"
+)
+
+// This file is the tournament runner: every registered prediction policy
+// (the profile zoo) crossed with every simulated allocator, replayed over
+// each program's Test input, scored, and ranked. It reuses the engine's
+// per-program Artifacts cache — one build and one warm per program no
+// matter how many policy × allocator cells run — and the same bounded
+// worker pool + deterministic-assembly discipline as Engine.Run, so the
+// rendered report is byte-identical at any worker count.
+
+// TournamentAllocators lists every simulator a tournament drives, in
+// report order: the four standard-matrix allocators plus segfit, the
+// sited arena, and the per-size custom allocator (hot sizes derived from
+// the training profile, as in the paper's custom configuration).
+var TournamentAllocators = []string{
+	"firstfit", "bestfit", "bsd", "arena", "segfit", "sitearena", "custom",
+}
+
+// OraclePolicy is one tournament predictor: a name and a trainer over a
+// program's built artifacts. The returned Oracle keys chains in the
+// Train trace's table; cells bind it to the Test table per replay.
+type OraclePolicy struct {
+	Name  string
+	Train func(a *Artifacts, cfg profile.Config) (profile.Oracle, error)
+}
+
+// OraclePolicies returns the tournament's policy registry: every zoo
+// trainer, each training on the model's Train input (the paper's honest
+// configuration — never the measured input itself).
+func OraclePolicies() []OraclePolicy {
+	zs := profile.ZooTrainers()
+	out := make([]OraclePolicy, len(zs))
+	for i, z := range zs {
+		z := z
+		out[i] = OraclePolicy{
+			Name: z.Name,
+			Train: func(a *Artifacts, cfg profile.Config) (profile.Oracle, error) {
+				return z.Train(a.TrainTrace, cfg)
+			},
+		}
+	}
+	return out
+}
+
+// PolicyNames lists the registered tournament policies in report order.
+func PolicyNames() []string {
+	ps := OraclePolicies()
+	names := make([]string, len(ps))
+	for i, p := range ps {
+		names[i] = p.Name
+	}
+	return names
+}
+
+// newTournamentAllocator builds a fresh simulator for one cell. The two
+// profile-driven allocators need the program's artifacts: custom derives
+// its hot size classes from the training profile, sitearena is driven by
+// the replay's per-allocation hints.
+func newTournamentAllocator(name string, a *Artifacts) (heapsim.Allocator, error) {
+	switch name {
+	case "sitearena":
+		return heapsim.NewSiteArena(), nil
+	case "custom":
+		return heapsim.NewCustom(a.TrainDB.TopSizes(16)), nil
+	}
+	return NewAllocator(name)
+}
+
+// TournamentSpec selects and gates one tournament run.
+type TournamentSpec struct {
+	// Programs subsets the configured models by name (canonical order is
+	// always used for output). Nil or empty runs every model.
+	Programs []string
+	// Workers bounds how many cells run at once; values below 1 clamp to
+	// GOMAXPROCS. The rendered report is identical at any value.
+	Workers int
+	// Gate, when non-nil, runs before any cell: it is the conformance
+	// hook (internal/check's differential suite over every policy and
+	// allocator) that every participant must pass before the tournament
+	// scores it. A gate error aborts the run. The hook is injected here
+	// because check imports core for the block/scalar equivalence replay,
+	// so core cannot import check; cmd/lptables wires check.RunOracles in.
+	Gate func() error
+	// Collector, when non-nil, accrues wall-clock timing families
+	// ("tournament_cell") as cells complete.
+	Collector *obs.Collector
+	// Progress, when non-nil, receives one line per scheduling milestone.
+	// Calls may come from worker goroutines.
+	Progress func(msg string)
+}
+
+// TournamentCell is one scored (program, policy, allocator) replay.
+type TournamentCell struct {
+	Program   string
+	Policy    string
+	Allocator string
+	// FragPeakPct is the worst 1 - live/heap point on the replay
+	// timeline, in percent.
+	FragPeakPct float64
+	// AccuracyPct is the byte-weighted prediction accuracy:
+	// (TP+TN bytes) / all allocated bytes, in percent.
+	AccuracyPct float64
+	// FPBytes counts bytes predicted short that lived long.
+	FPBytes int64
+	// FPCost is the misprediction cost in byte-lifetime units: for each
+	// false positive, lifetime beyond the threshold times size.
+	FPCost  int64
+	MaxHeap int64
+}
+
+// TournamentRank aggregates one (policy, allocator) pair across all
+// programs: the tournament's ranked unit.
+type TournamentRank struct {
+	Rank        int
+	Policy      string
+	Allocator   string
+	MeanFragPct float64
+	MeanAccPct  float64
+	FPCost      int64 // summed across programs
+}
+
+// TournamentResult is one run's deterministic output.
+type TournamentResult struct {
+	// Output is the rendered report — byte-identical for a given
+	// (Config, Programs) at any worker count.
+	Output []byte
+	Cells  []TournamentCell
+	Ranks  []TournamentRank
+	Wall   time.Duration
+}
+
+// siteKeyer is the routing face a sited replay needs: the mapped site
+// key (in the oracle's own table) plus the admit verdict per allocation.
+// Both *profile.Mapper and *profile.SiteMapper implement it, so every
+// cross-table binding BindOracle produces can route a SiteArena.
+type siteKeyer interface {
+	Site(raw callchain.ChainID, size int64) (profile.SiteKey, bool)
+}
+
+// runSimSitedOracle is RunSimSited generalized over the policy zoo:
+// predicted-short allocations route to their site's own pool, with the
+// pool identity folded from the oracle-side site key exactly as the
+// paper-predictor sited replay does.
+func runSimSitedOracle(tr *trace.Trace, alloc *heapsim.SiteArena, keyer siteKeyer, oracle profile.Oracle, col *obs.Collector) (SimResult, error) {
+	var ot *obsTracker
+	if col != nil {
+		ot = newObsTracker(col, alloc, len(tr.Events), oracle.ShortThreshold())
+	}
+	res := SimResult{}
+	for i, ev := range tr.Events {
+		short := false
+		switch ev.Kind {
+		case trace.KindAlloc:
+			var key profile.SiteKey
+			key, short = keyer.Site(ev.Chain, ev.Size)
+			var err error
+			if short {
+				id := (uint64(key.Chain)+1)*0x9e3779b97f4a7c15 ^
+					uint64(key.Size)*0xc2b2ae3d27d4eb4f
+				err = alloc.AllocAt(ev.Obj, ev.Size, id)
+			} else {
+				err = alloc.Alloc(ev.Obj, ev.Size, false)
+			}
+			if err != nil {
+				return res, fmt.Errorf("core: event %d: %w", i, err)
+			}
+			res.TotalAllocs++
+			res.TotalBytes += ev.Size
+		case trace.KindFree:
+			if err := alloc.Free(ev.Obj); err != nil {
+				return res, fmt.Errorf("core: event %d: %w", i, err)
+			}
+		default:
+			return res, fmt.Errorf("core: event %d: bad kind %d", i, ev.Kind)
+		}
+		if ot != nil {
+			ot.step(ev, short)
+		}
+	}
+	finishSim(&res, alloc)
+	res.PinnedArenas = alloc.PinnedPools()
+	if ot != nil {
+		res.Obs = ot.finish(tr.Program, tr.Table)
+	}
+	return res, nil
+}
+
+// runTournamentCell replays one cell: bind the policy's oracle to the
+// Test table (a fresh mapper per cell — mappers memoize and are not
+// goroutine-safe; the shared tables were pre-warmed by warmArtifacts so
+// binding only performs read-only lookups), drive a fresh allocator, and
+// score the snapshot.
+func runTournamentCell(a *Artifacts, policy string, oracle profile.Oracle, allocName string) (TournamentCell, error) {
+	cell := TournamentCell{Program: a.Model.Name, Policy: policy, Allocator: allocName}
+	alloc, err := newTournamentAllocator(allocName, a)
+	if err != nil {
+		return cell, err
+	}
+	bound := profile.BindOracle(oracle, a.TestTrace.Table)
+	col := obs.NewCollector(obs.Options{Label: a.Model.Name + "/" + policy + "/" + allocName})
+	var res SimResult
+	if sa, ok := alloc.(*heapsim.SiteArena); ok {
+		keyer, ok := bound.(siteKeyer)
+		if !ok {
+			return cell, fmt.Errorf("policy %s binding %T cannot route a sited arena", policy, bound)
+		}
+		res, err = runSimSitedOracle(a.TestTrace, sa, keyer, bound, col)
+	} else {
+		res, err = RunSimOracle(trace.NewSliceSource(a.TestTrace), alloc, bound, col)
+	}
+	if err != nil {
+		return cell, err
+	}
+	m := res.Obs.Flatten()
+	tp, fp := m["pred.tp_bytes"], m["pred.fp_bytes"]
+	fn, tn := m["pred.fn_bytes"], m["pred.tn_bytes"]
+	if total := tp + fp + fn + tn; total > 0 {
+		cell.AccuracyPct = 100 * (tp + tn) / total
+	}
+	cell.FPBytes = int64(fp)
+	cell.FPCost = int64(m["pred.fp_cost_bytelife"])
+	cell.FragPeakPct = res.Obs.FragPeakPct()
+	cell.MaxHeap = res.MaxHeap
+	return cell, nil
+}
+
+// RunTournament gates, schedules, scores, and ranks the full policy ×
+// allocator matrix over the spec's programs. Per program the build and
+// all policy training run single-threaded (chain tables are not
+// goroutine-safe); the cells then fan out on the worker pool, and the
+// report is assembled in fixed order afterwards.
+func (e *Engine) RunTournament(spec TournamentSpec) (*TournamentResult, error) {
+	start := time.Now()
+	progress := spec.Progress
+	if progress == nil {
+		progress = func(string) {}
+	}
+	if spec.Gate != nil {
+		progress("running conformance gate...")
+		if err := spec.Gate(); err != nil {
+			return nil, fmt.Errorf("core: tournament gate: %w", err)
+		}
+		progress("conformance gate passed")
+	}
+	models, err := e.selectModels(spec.Programs)
+	if err != nil {
+		return nil, err
+	}
+	policies := OraclePolicies()
+	allocs := TournamentAllocators
+
+	workers := spec.Workers
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	nCell := len(policies) * len(allocs)
+	type slot struct {
+		cell TournamentCell
+		err  error
+	}
+	slots := make([]slot, len(models)*nCell)
+	buildErr := make([]error, len(models))
+
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for pi, m := range models {
+		pi, m := pi, m
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sem <- struct{}{}
+			progress(fmt.Sprintf("building %s and training %d policies...", m.Name, len(policies)))
+			a, err := e.Artifacts(m.Name)
+			oracles := make([]profile.Oracle, len(policies))
+			if err == nil {
+				for qi, p := range policies {
+					if oracles[qi], err = p.Train(a, e.cfg.Profile); err != nil {
+						err = fmt.Errorf("training %s: %w", p.Name, err)
+						break
+					}
+				}
+			}
+			<-sem
+			if err != nil {
+				buildErr[pi] = err
+				return
+			}
+			for qi := range policies {
+				for ai := range allocs {
+					qi, ai := qi, ai
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						sem <- struct{}{}
+						defer func() { <-sem }()
+						t0 := time.Now()
+						s := &slots[pi*nCell+qi*len(allocs)+ai]
+						s.cell, s.err = runTournamentCell(a, policies[qi].Name, oracles[qi], allocs[ai])
+						spec.Collector.ObserveTiming("tournament_cell", time.Since(t0))
+					}()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	for pi, m := range models {
+		if buildErr[pi] != nil {
+			return nil, fmt.Errorf("core: building %s: %w", m.Name, buildErr[pi])
+		}
+	}
+	cells := make([]TournamentCell, 0, len(slots))
+	for pi, m := range models {
+		for ci := 0; ci < nCell; ci++ {
+			s := &slots[pi*nCell+ci]
+			if s.err != nil {
+				return nil, fmt.Errorf("core: %s cell %s/%s: %w",
+					m.Name, policies[ci/len(allocs)].Name, allocs[ci%len(allocs)], s.err)
+			}
+			cells = append(cells, s.cell)
+		}
+	}
+
+	ranks := rankTournament(cells, policies, allocs, len(models))
+
+	// Render: per-program accuracy (allocator-independent — predictions
+	// depend only on the oracle and the trace, so the firstfit column
+	// speaks for the pair), then the ranked pair table.
+	var buf bytes.Buffer
+	acc := table.New("Tournament: prediction accuracy by policy (Test input, trained on Train)",
+		"program", "policy", "accuracy %", "FP bytes", "FP cost (byte-life)")
+	for pi := range models {
+		for qi, p := range policies {
+			c := cells[pi*nCell+qi*len(allocs)] // allocator 0 = firstfit
+			acc.RowStrings(c.Program, p.Name,
+				fmt.Sprintf("%.2f", c.AccuracyPct),
+				fmt.Sprintf("%d", c.FPBytes),
+				fmt.Sprintf("%d", c.FPCost))
+		}
+	}
+	if _, err := acc.WriteTo(&buf); err != nil {
+		return nil, fmt.Errorf("core: rendering tournament accuracy: %w", err)
+	}
+	rk := table.New("Tournament: policy x allocator ranking (mean over programs, best first)",
+		"rank", "policy", "allocator", "frag peak %", "accuracy %", "FP cost (byte-life)")
+	for _, r := range ranks {
+		rk.RowStrings(fmt.Sprintf("%d", r.Rank), r.Policy, r.Allocator,
+			fmt.Sprintf("%.2f", r.MeanFragPct),
+			fmt.Sprintf("%.2f", r.MeanAccPct),
+			fmt.Sprintf("%d", r.FPCost))
+	}
+	if _, err := rk.WriteTo(&buf); err != nil {
+		return nil, fmt.Errorf("core: rendering tournament ranking: %w", err)
+	}
+
+	return &TournamentResult{
+		Output: buf.Bytes(),
+		Cells:  cells,
+		Ranks:  ranks,
+		Wall:   time.Since(start),
+	}, nil
+}
+
+// rankTournament aggregates cells into per-(policy, allocator) means and
+// orders them best first: lowest mean fragmentation, then highest
+// accuracy, then lowest misprediction cost, then registry order — every
+// key deterministic, so the ranking is too.
+func rankTournament(cells []TournamentCell, policies []OraclePolicy, allocs []string, nModels int) []TournamentRank {
+	nCell := len(policies) * len(allocs)
+	ranks := make([]TournamentRank, 0, nCell)
+	for qi, p := range policies {
+		for ai, al := range allocs {
+			r := TournamentRank{Policy: p.Name, Allocator: al}
+			for pi := 0; pi < nModels; pi++ {
+				c := cells[pi*nCell+qi*len(allocs)+ai]
+				r.MeanFragPct += c.FragPeakPct
+				r.MeanAccPct += c.AccuracyPct
+				r.FPCost += c.FPCost
+			}
+			if nModels > 0 {
+				r.MeanFragPct /= float64(nModels)
+				r.MeanAccPct /= float64(nModels)
+			}
+			ranks = append(ranks, r)
+		}
+	}
+	sort.SliceStable(ranks, func(a, b int) bool {
+		ra, rb := ranks[a], ranks[b]
+		if ra.MeanFragPct != rb.MeanFragPct {
+			return ra.MeanFragPct < rb.MeanFragPct
+		}
+		if ra.MeanAccPct != rb.MeanAccPct {
+			return ra.MeanAccPct > rb.MeanAccPct
+		}
+		return ra.FPCost < rb.FPCost
+	})
+	for i := range ranks {
+		ranks[i].Rank = i + 1
+	}
+	return ranks
+}

@@ -20,6 +20,7 @@ func TestAllocatorErrorPaths(t *testing.T) {
 		{"arena", func() Allocator { return NewArena() }},
 		{"sitearena", func() Allocator { return NewSiteArena() }},
 		{"custom", func() Allocator { return NewCustom([]int64{16, 64}) }},
+		{"segfit", func() Allocator { return NewSegFit() }},
 	}
 	for _, tc := range cases {
 		for _, short := range []bool{false, true} {
@@ -87,6 +88,7 @@ func TestAllocatorRejectsNonPositiveSize(t *testing.T) {
 		{"arena", func() Allocator { return NewArena() }},
 		{"sitearena", func() Allocator { return NewSiteArena() }},
 		{"custom", func() Allocator { return NewCustom(nil) }},
+		{"segfit", func() Allocator { return NewSegFit() }},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

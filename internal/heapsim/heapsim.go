@@ -61,6 +61,9 @@ type OpCounts struct {
 	BSDCarves    int64 // page carves (free list refills)
 	BSDBucketSum int64 // sum of bucket indices, for size-dependent cost
 
+	// Segregated-fit behaviour.
+	SegCarves int64 // slab carves (class free-list refills)
+
 	// Arena behaviour.
 	PredChecks     int64 // prediction lookups performed (every alloc)
 	ArenaAllocs    int64 // bump allocations into an arena
