@@ -1,0 +1,64 @@
+package check
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/heapsim"
+	"repro/internal/trace"
+)
+
+// AuditPool replays a source across a heapsim.Pool, spreading allocations
+// round-robin over the members, and audits the pool against the trace's
+// own ledger every Options.Stride events (and always at end of trace) —
+// the cluster-level counterpart of Audit. The pool's aggregated state
+// must satisfy every single-allocator invariant: member self-checks, op
+// conservation, region disjointness across the PoolStride windows, the
+// walked live set reconciling with the ledger, and dead-id probes. This
+// is what licenses the cluster simulator to treat a pool of simulators
+// as one allocator.
+//
+// Round-robin placement is deliberate: it exercises every member and is
+// routing-policy-agnostic. Policy behavior is the cluster's concern; the
+// pool's invariants must hold under any placement.
+func AuditPool(src trace.Source, name string, p *heapsim.Pool, opt Options) error {
+	led := NewLedger(opt.deadSample())
+	next := 0
+	for i := 0; ; i++ {
+		ev, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("%s: reading event %d: %w", name, i, err)
+		}
+		if err := led.Apply(ev); err != nil {
+			return fmt.Errorf("%s: event %d: %w", name, i, err)
+		}
+		switch ev.Kind {
+		case trace.KindAlloc:
+			short := false
+			if opt.Predict != nil {
+				short = opt.Predict(ev.Chain, ev.Size)
+			}
+			member := next % p.Members()
+			next++
+			if err := p.AllocOn(member, ev.Obj, ev.Size, short); err != nil {
+				return fmt.Errorf("%s: event %d: %w", name, i, err)
+			}
+		case trace.KindFree:
+			if err := p.Free(ev.Obj); err != nil {
+				return fmt.Errorf("%s: event %d: %w", name, i, err)
+			}
+		}
+		if opt.Stride > 0 && (i+1)%opt.Stride == 0 {
+			if err := AuditState(name, p, led); err != nil {
+				return fmt.Errorf("after event %d: %w", i, err)
+			}
+		}
+	}
+	if err := AuditState(name, p, led); err != nil {
+		return fmt.Errorf("at end of trace: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,89 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/heapsim"
+	"repro/internal/trace"
+)
+
+// poolOf builds a pool of n fresh members per named factory, cycling
+// through names ("firstfit,arena" with n=4 gives ff,ar,ff,ar).
+func poolOf(t *testing.T, n int, names ...string) *heapsim.Pool {
+	t.Helper()
+	fs, err := Factories(names...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	members := make([]heapsim.Allocator, n)
+	for i := range members {
+		members[i] = fs[i%len(fs)].New()
+	}
+	p, err := heapsim.NewPool("pool:"+strings.Join(names, ","), members...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestAuditPoolHomogeneous: the pool composition preserves every
+// conformance invariant for same-kind members at several pool widths.
+func TestAuditPoolHomogeneous(t *testing.T) {
+	for _, n := range []int{1, 2, 4} {
+		for seed := uint64(1); seed <= 3; seed++ {
+			tr := GenTrace(seed, GenConfig{})
+			p := poolOf(t, n, "firstfit")
+			err := AuditPool(trace.NewSliceSource(tr), "pool", p, Options{
+				Stride:  16,
+				Predict: GenPredict(1 << 12),
+			})
+			if err != nil {
+				t.Fatalf("n=%d seed=%d: %v", n, seed, err)
+			}
+		}
+	}
+}
+
+// TestAuditPoolMixed: one pool mixing every checkable allocator kind —
+// the widest arena-pool composition the cluster can build — still
+// satisfies the auditor with spans spread across all member windows.
+func TestAuditPoolMixed(t *testing.T) {
+	names := AllocatorNames()
+	for seed := uint64(1); seed <= 3; seed++ {
+		tr := GenTrace(seed, GenConfig{Events: 600})
+		p := poolOf(t, len(names), names...)
+		err := AuditPool(trace.NewSliceSource(tr), "pool-mixed", p, Options{
+			Stride:  32,
+			Predict: GenPredict(1 << 12),
+		})
+		if err != nil {
+			t.Fatalf("seed=%d: %v", seed, err)
+		}
+	}
+}
+
+// TestAuditPoolDetectsDisagreement: a ledger that disagrees with the
+// pool's state is reported, proving the reconciliation has teeth.
+func TestAuditPoolDetectsDisagreement(t *testing.T) {
+	p := poolOf(t, 2, "firstfit")
+	if err := p.AllocOn(1, 7, 64, false); err != nil {
+		t.Fatal(err)
+	}
+	led := NewLedger(8)
+	// The ledger never saw the allocation: op conservation must trip.
+	if err := AuditState("pool", p, led); err == nil {
+		t.Fatal("AuditState accepted a pool/ledger mismatch")
+	}
+	// And a ledger claiming a live object the pool never placed.
+	led2 := NewLedger(8)
+	if err := led2.Apply(trace.Event{Kind: trace.KindAlloc, Obj: 7, Size: 64}); err != nil {
+		t.Fatal(err)
+	}
+	if err := led2.Apply(trace.Event{Kind: trace.KindAlloc, Obj: 8, Size: 32}); err != nil {
+		t.Fatal(err)
+	}
+	if err := AuditState("pool", p, led2); err == nil {
+		t.Fatal("AuditState accepted a ledger-live object the pool lacks")
+	}
+}

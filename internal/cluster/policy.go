@@ -1,0 +1,102 @@
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/heapsim"
+)
+
+// RoutingPolicy decides which pool member an admitted allocation lands
+// on — the cluster's pluggable placement seam, mirroring the paper's
+// thesis one level up: if lifetime class is predictable, placement can
+// exploit it.
+//
+// Route is called once per admitted allocation, in merged-stream order,
+// and must be deterministic: a function of the policy's own state, the
+// pool's observable state, and the arguments. Policies must not depend
+// on the order tenants appear in the run's tenant slice (tenant identity
+// arrives as the id string), so per-tenant results stay invariant under
+// tenant permutation. Policy instances are per-run and never shared.
+type RoutingPolicy interface {
+	Name() string
+	Route(p *heapsim.Pool, tenant string, size int64, predictedShort bool) int
+}
+
+// policyOrder fixes the registry listing (reports iterate it).
+var policyOrder = []string{"round-robin", "least-frag", "lifetime-affinity"}
+
+var policyFactories = map[string]func() RoutingPolicy{
+	"round-robin":       func() RoutingPolicy { return &roundRobin{} },
+	"least-frag":        func() RoutingPolicy { return leastFrag{} },
+	"lifetime-affinity": func() RoutingPolicy { return &lifetimeAffinity{} },
+}
+
+// PolicyNames lists the registered routing policies in report order.
+func PolicyNames() []string { return append([]string(nil), policyOrder...) }
+
+// NewPolicy returns a fresh instance of a registered policy (policies
+// carry per-run state, so instances are never reused across runs).
+func NewPolicy(name string) (RoutingPolicy, error) {
+	mk, ok := policyFactories[name]
+	if !ok {
+		return nil, fmt.Errorf("cluster: unknown routing policy %q (have %v)", name, policyOrder)
+	}
+	return mk(), nil
+}
+
+// roundRobin cycles through the members in admission order — the
+// baseline that spreads load blindly.
+type roundRobin struct {
+	next int
+}
+
+func (*roundRobin) Name() string { return "round-robin" }
+
+func (r *roundRobin) Route(p *heapsim.Pool, tenant string, size int64, predictedShort bool) int {
+	m := r.next % p.Members()
+	r.next++
+	return m
+}
+
+// leastFrag places each allocation on the member with the least free
+// slack (footprint minus live payload): new objects fill the
+// best-packed member's holes before any member grows, the greedy
+// anti-fragmentation heuristic. Ties break to the lowest member index.
+type leastFrag struct{}
+
+func (leastFrag) Name() string { return "least-frag" }
+
+func (leastFrag) Route(p *heapsim.Pool, tenant string, size int64, predictedShort bool) int {
+	best, bestSlack := 0, int64(-1)
+	for i := 0; i < p.Members(); i++ {
+		slack := p.MemberHeap(i) - p.MemberLive(i)
+		if bestSlack < 0 || slack < bestSlack {
+			best, bestSlack = i, slack
+		}
+	}
+	return best
+}
+
+// lifetimeAffinity segregates by predicted lifetime class: short-lived
+// objects cycle over the first half of the members, long-lived over the
+// rest, so ephemeral churn never pollutes the long-lived members — the
+// cluster-level analogue of the paper's short-lifetime arenas, driven by
+// each tenant's own oracle. A one-member pool degenerates to member 0.
+type lifetimeAffinity struct {
+	nextShort, nextLong int
+}
+
+func (*lifetimeAffinity) Name() string { return "lifetime-affinity" }
+
+func (a *lifetimeAffinity) Route(p *heapsim.Pool, tenant string, size int64, predictedShort bool) int {
+	m := p.Members()
+	half := (m + 1) / 2
+	if predictedShort || half == m {
+		s := a.nextShort % half
+		a.nextShort++
+		return s
+	}
+	l := a.nextLong % (m - half)
+	a.nextLong++
+	return half + l
+}

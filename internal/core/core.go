@@ -67,6 +67,11 @@ func (c Config) genConfig(in synth.Input) synth.Config {
 	return synth.Config{Input: in, Seed: seed, Scale: c.Scale}
 }
 
+// GenConfig exposes genConfig so out-of-package replay drivers (the
+// cluster simulator, load harnesses) derive their generator configs from
+// the same seed rule instead of duplicating it.
+func (c Config) GenConfig(in synth.Input) synth.Config { return c.genConfig(in) }
+
 // Artifacts bundles everything derived from one model at one scale; the
 // experiments share it so traces are generated and annotated once.
 type Artifacts struct {
@@ -150,13 +155,23 @@ func finishSim(res *SimResult, alloc heapsim.Allocator) {
 	if res.TotalBytes > 0 {
 		res.ArenaBytePct = 100 * float64(res.Counts.ArenaBytes) / float64(res.TotalBytes)
 	}
-	if ar, ok := alloc.(*heapsim.Arena); ok {
+	if ar, ok := alloc.(interface{ PinnedArenas() int }); ok {
 		res.PinnedArenas = ar.PinnedArenas()
 	}
 }
 
-// allocatorName labels the built-in simulators for snapshots.
+// FinishSim exposes finishSim for replay loops built outside this package
+// on the same SimResult vocabulary — the cluster simulator fills
+// per-tenant results from a shared pool allocator through it.
+func FinishSim(res *SimResult, alloc heapsim.Allocator) { finishSim(res, alloc) }
+
+// allocatorName labels the built-in simulators for snapshots. Composed
+// allocators (heapsim.Pool) carry their own label via the AllocatorName
+// hook, which wins over the type switch.
 func allocatorName(alloc heapsim.Allocator) string {
+	if n, ok := alloc.(interface{ AllocatorName() string }); ok {
+		return n.AllocatorName()
+	}
 	switch alloc.(type) {
 	case *heapsim.FirstFit:
 		return "firstfit"

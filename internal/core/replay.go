@@ -1,0 +1,66 @@
+package core
+
+import (
+	"repro/internal/callchain"
+	"repro/internal/heapsim"
+	"repro/internal/obs"
+	"repro/internal/trace"
+)
+
+// ReplayTracker is the exported face of the replay-side observability
+// state RunSimOracle keeps per run (obsTracker): the byte clock, the live
+// set that scores alloc-time predictions at free time, timeline samples,
+// phase marks, and the per-site rankings. Replay loops built outside this
+// package — the cluster simulator steps one tracker per tenant — drive it
+// with exactly the calls RunSimOracle would make, so a tenant's snapshot
+// is field-for-field the snapshot a solo replay would have produced.
+//
+// A nil *ReplayTracker is valid and inert, mirroring the nil-collector
+// fast path of the replay loops.
+type ReplayTracker struct {
+	t *obsTracker
+}
+
+// NewReplayTracker prepares a tracker on the given collector, attaching
+// it to the allocator when the allocator is Observable. nEvents drives
+// the 25/50/75% phase marks (pass 0 when unknown); shortThreshold is the
+// byte-lifetime boundary predictions are scored against, normally the
+// driving oracle's ShortThreshold. A nil collector returns a nil tracker.
+func NewReplayTracker(col *obs.Collector, alloc heapsim.Allocator, nEvents int, shortThreshold int64) *ReplayTracker {
+	if col == nil {
+		return nil
+	}
+	return &ReplayTracker{t: newObsTracker(col, alloc, nEvents, shortThreshold)}
+}
+
+// Step observes one replayed event after the allocator accepted it.
+// predictedShort is the oracle's verdict for an alloc event and ignored
+// for frees. Stepping a free of an object the tracker never saw is a
+// counted no-op — the cluster relies on this for frees of rejected
+// objects and for the real free arriving after an eviction.
+func (rt *ReplayTracker) Step(ev trace.Event, predictedShort bool) {
+	if rt == nil {
+		return
+	}
+	rt.t.step(ev, predictedShort)
+}
+
+// Clock returns the tracker's byte clock: cumulative bytes of stepped
+// allocs. In a solo replay this is the trace's own byte time; in the
+// cluster it is the tenant's admitted-byte time.
+func (rt *ReplayTracker) Clock() int64 {
+	if rt == nil {
+		return 0
+	}
+	return rt.t.clock
+}
+
+// Finish scores still-live objects, takes the end-of-run sample and phase
+// mark, ranks the site tables, and freezes the snapshot — nil for a nil
+// tracker.
+func (rt *ReplayTracker) Finish(program string, tb *callchain.Table) *obs.Snapshot {
+	if rt == nil {
+		return nil
+	}
+	return rt.t.finish(program, tb)
+}

@@ -1,0 +1,20 @@
+package obs
+
+// JainIndex computes Jain's fairness index over non-negative per-tenant
+// shares: (Σx)² / (n·Σx²). It is 1.0 when every tenant gets an equal
+// share, 1/n when one tenant gets everything, and scale-invariant in
+// between — the standard single-number fairness summary the cluster
+// reports over per-tenant byte-life integrals. Degenerate inputs (no
+// tenants, or all shares zero) report 1.0: nothing was divided, so
+// nothing was divided unfairly.
+func JainIndex(shares []float64) float64 {
+	var sum, sumSq float64
+	for _, x := range shares {
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(shares)) * sumSq)
+}

@@ -1,0 +1,32 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestJainIndex(t *testing.T) {
+	cases := []struct {
+		name   string
+		shares []float64
+		want   float64
+	}{
+		{"equal", []float64{5, 5, 5, 5}, 1},
+		{"one-takes-all", []float64{9, 0, 0}, 1.0 / 3},
+		{"empty", nil, 1},
+		{"all-zero", []float64{0, 0}, 1},
+		{"single", []float64{42}, 1},
+		{"two-to-one", []float64{2, 1}, 9.0 / 10},
+	}
+	for _, c := range cases {
+		if got := JainIndex(c.shares); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("%s: JainIndex(%v) = %g, want %g", c.name, c.shares, got, c.want)
+		}
+	}
+	// Scale invariance.
+	a := JainIndex([]float64{1, 2, 3})
+	b := JainIndex([]float64{10, 20, 30})
+	if math.Abs(a-b) > 1e-12 {
+		t.Errorf("scale invariance: %g vs %g", a, b)
+	}
+}

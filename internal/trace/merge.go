@@ -15,6 +15,14 @@ import (
 // re-based so they stay unique; chains are re-interned by function name
 // into a fresh table.
 //
+// Header convention: the merged Program and Input are taken from the
+// first shard that sets each field (in practice traces[0] — shards of
+// one instrumented run share a header). A shard with an empty field is
+// compatible with anything; two shards that set *different* non-empty
+// values are a caller error — merging, say, cfrac with espresso would
+// silently mislabel the result — and Merge reports it instead of
+// guessing. MergeSources applies the same rule to streams.
+//
 // The interleaving is a modeling choice — concurrent shards have no true
 // global allocation order — but byte-clock merging preserves each shard's
 // internal lifetimes up to the allocation volume the other shards
@@ -23,9 +31,18 @@ func Merge(traces []*Trace) (*Trace, error) {
 	if len(traces) == 0 {
 		return nil, fmt.Errorf("trace: Merge needs at least one trace")
 	}
+	programs := make([]string, len(traces))
+	inputs := make([]string, len(traces))
+	for i, tr := range traces {
+		programs[i], inputs[i] = tr.Program, tr.Input
+	}
+	program, input, err := mergeHeaders(programs, inputs)
+	if err != nil {
+		return nil, err
+	}
 	out := &Trace{
-		Program: traces[0].Program,
-		Input:   traces[0].Input,
+		Program: program,
+		Input:   input,
 		Table:   callchain.NewTable(),
 	}
 
@@ -95,6 +112,29 @@ func Merge(traces []*Trace) (*Trace, error) {
 		}
 	}
 	return out, nil
+}
+
+// mergeHeaders resolves the merged Program and Input fields: each is the
+// first non-empty value across shards, and a shard carrying a different
+// non-empty value is an error (see the Merge doc comment).
+func mergeHeaders(programs, inputs []string) (program, input string, err error) {
+	for i := range programs {
+		if p := programs[i]; p != "" {
+			if program == "" {
+				program = p
+			} else if p != program {
+				return "", "", fmt.Errorf("trace: merge: shard %d has program %q, earlier shards %q", i, p, program)
+			}
+		}
+		if in := inputs[i]; in != "" {
+			if input == "" {
+				input = in
+			} else if in != input {
+				return "", "", fmt.Errorf("trace: merge: shard %d has input %q, earlier shards %q", i, in, input)
+			}
+		}
+	}
+	return program, input, nil
 }
 
 type shardRef struct {
